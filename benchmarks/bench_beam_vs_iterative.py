@@ -1,0 +1,79 @@
+"""Design ablation: bidirectional beam search vs iterative calling.
+
+The paper presents both multipoint strategies (Section 6) and argues the
+beam search finds more probable sequences than the greedy iterative
+calling (the Figure 6 vs Figure 7 worked example). This benchmark runs
+the full system with each strategy on the same workload.
+
+Expected shape: beam search matches or beats iterative calling on recall
+and failure rate; iterative calling issues fewer model calls per segment.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.config import KamelConfig
+from repro.eval.figures import Scale, jakarta_workload
+from repro.eval.harness import ExperimentRunner, kamel_builder
+
+from conftest import run_once, show
+
+
+def _compare(bench_scale):
+    workload = jakarta_workload(bench_scale).with_sparseness(1000.0)
+    out = {}
+    for strategy in ("beam", "iterative"):
+        config = KamelConfig(maxgap_m=workload.maxgap_m, imputer=strategy)
+        runner = ExperimentRunner(workload)
+        scores = runner.run(strategy, kamel_builder(config))
+        calls = sum(r.total_model_calls for r in scores.results)
+        segments = sum(r.num_segments for r in scores.results)
+        out[strategy] = {
+            "recall": scores.scores.recall,
+            "precision": scores.scores.precision,
+            "failure_rate": scores.scores.failure_rate,
+            "calls_per_segment": calls / max(1, segments),
+        }
+    return out
+
+
+@pytest.fixture(scope="module")
+def comparison(bench_scale: Scale):
+    return _compare(bench_scale)
+
+
+def test_beam_vs_iterative_regenerate(benchmark, capsys, bench_scale):
+    result = run_once(benchmark, _compare, bench_scale)
+    show(
+        capsys,
+        "Design ablation: multipoint strategy (Section 6)",
+        "metric",
+        ["recall", "precision", "failure_rate", "calls_per_segment"],
+        {
+            name: [series[m] for m in ("recall", "precision", "failure_rate", "calls_per_segment")]
+            for name, series in result.items()
+        },
+    )
+    assert set(result) == {"beam", "iterative"}
+
+
+def test_beam_not_worse_than_iterative(comparison):
+    assert comparison["beam"]["recall"] >= comparison["iterative"]["recall"] - 0.05
+    assert (
+        comparison["beam"]["failure_rate"]
+        <= comparison["iterative"]["failure_rate"] + 0.05
+    )
+
+
+def test_iterative_is_cheaper(comparison):
+    assert (
+        comparison["iterative"]["calls_per_segment"]
+        < comparison["beam"]["calls_per_segment"]
+    )
+
+
+def test_both_strategies_functional(comparison):
+    for series in comparison.values():
+        assert series["recall"] > 0.4
+        assert series["failure_rate"] < 0.6

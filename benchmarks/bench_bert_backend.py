@@ -1,0 +1,84 @@
+"""E10: the transformer (BERT) backend vs the counting backend.
+
+The paper's model is a BERT masked LM; this repo's figure sweeps use the
+fast counting backend (see DESIGN.md substitution table). This benchmark
+trains the actual numpy transformer on a small city and verifies it is a
+functioning drop-in: same system path, usable accuracy, paper-shaped cost
+(Figure 11's "KAMEL inherits the complex training model from BERT").
+"""
+
+import time
+
+import pytest
+
+from repro import Kamel, KamelConfig
+from repro.eval import evaluate_imputation
+from repro.roadnet import make_porto_like
+
+from conftest import run_once, show
+
+MAXGAP = 100.0
+DELTA = 50.0
+SPARSENESS = 600.0
+
+
+@pytest.fixture(scope="module")
+def workload():
+    dataset = make_porto_like(n_trajectories=200, scale=0.6)
+    train, test = dataset.split()
+    test = test[:5]
+    sparse = [t.sparsify(SPARSENESS) for t in test]
+    return train, test, sparse
+
+
+def _run(backend: str, train, test, sparse):
+    config = KamelConfig(
+        model_backend=backend,
+        bert_epochs=50,
+        use_partitioning=False,
+        max_model_calls=500,
+    )
+    t0 = time.perf_counter()
+    system = Kamel(config).fit(list(train))
+    train_s = time.perf_counter() - t0
+    results = system.impute_batch(sparse)
+    scores = evaluate_imputation(list(test), results, MAXGAP, DELTA)
+    return scores, train_s
+
+
+@pytest.fixture(scope="module")
+def comparison(workload):
+    train, test, sparse = workload
+    return {backend: _run(backend, train, test, sparse) for backend in ("counting", "bert")}
+
+
+def test_bert_backend_regenerate(benchmark, capsys, workload):
+    train, test, sparse = workload
+    scores, train_s = run_once(benchmark, _run, "bert", train, test, sparse)
+    show(
+        capsys,
+        "E10 transformer backend",
+        "metric",
+        ["recall", "precision", "failure", "train_s"],
+        {"bert": [scores.recall, scores.precision, scores.failure_rate, train_s]},
+    )
+    assert scores.recall > 0.3
+
+
+def test_bert_is_usable(comparison):
+    scores, _ = comparison["bert"]
+    assert scores.recall > 0.4
+    assert scores.precision > 0.4
+
+
+def test_bert_training_cost_dominates(comparison):
+    """Figure 11's shape: transformer training dwarfs the counting fit."""
+    _, bert_train = comparison["bert"]
+    _, counting_train = comparison["counting"]
+    assert bert_train > 3 * counting_train
+
+
+def test_counting_backend_not_worse(comparison):
+    bert_scores, _ = comparison["bert"]
+    counting_scores, _ = comparison["counting"]
+    assert counting_scores.recall >= bert_scores.recall - 0.15

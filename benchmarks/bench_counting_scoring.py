@@ -1,0 +1,88 @@
+"""Design ablation: the counting backend's scoring rule.
+
+DESIGN.md documents the fast counting backend as a BERT substitute; its
+default *policy-times-value* scoring (local transition evidence multiplied
+by route evidence toward the gap's far endpoint) was chosen over a plain
+additive interpolation of the same count tables. This benchmark justifies
+that choice at both the model level (held-out masked-prediction accuracy)
+and the system level (imputation recall).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.config import KamelConfig
+from repro.core.kamel import Kamel
+from repro.eval.figures import Scale, jakarta_workload
+from repro.eval.metrics import evaluate_imputation
+from repro.mlm import CountingMaskedLM, evaluate_masked_model
+from repro.core.tokenization import Tokenizer, make_grid
+
+from conftest import run_once, show
+
+
+def _compare(bench_scale):
+    workload = jakarta_workload(bench_scale).with_sparseness(1000.0)
+
+    # Model-level: masked accuracy on held-out tokenized trajectories.
+    tokenizer = Tokenizer(make_grid("hex", 75.0))
+    train_seqs = [tokenizer.tokenize(t, grow=True).tokens for t in workload.train]
+    test_seqs = [tokenizer.tokenize(t, grow=False).tokens for t in workload.test_truth]
+    test_seqs = [
+        [t for t in seq if not tokenizer.vocabulary.is_special(t)] for seq in test_seqs
+    ]
+    vocab_size = len(tokenizer.vocabulary)
+
+    out = {}
+    for scoring in ("policy_value", "interpolation"):
+        model = CountingMaskedLM(scoring=scoring).fit(train_seqs, vocab_size)
+        model_eval = evaluate_masked_model(model, test_seqs, top_k=10, max_predictions=800)
+
+        # System-level: swap the backend scoring inside a full KAMEL run.
+        system = Kamel(KamelConfig(maxgap_m=workload.maxgap_m))
+        system._model_factory = lambda s=scoring: CountingMaskedLM(scoring=s)  # type: ignore[assignment]
+        system.fit(list(workload.train))
+        results = system.impute_batch(list(workload.test_sparse))
+        scores = evaluate_imputation(
+            list(workload.test_truth), results, workload.maxgap_m, workload.delta_m
+        )
+        out[scoring] = {
+            "masked_top1": model_eval.top1_accuracy,
+            "masked_top10": model_eval.topk_accuracy,
+            "system_recall": scores.recall,
+            "system_failure": scores.failure_rate,
+        }
+    return out
+
+
+@pytest.fixture(scope="module")
+def comparison(bench_scale: Scale):
+    return _compare(bench_scale)
+
+
+def test_counting_scoring_regenerate(benchmark, capsys, bench_scale):
+    result = run_once(benchmark, _compare, bench_scale)
+    metrics = ["masked_top1", "masked_top10", "system_recall", "system_failure"]
+    show(
+        capsys,
+        "Design ablation: counting-backend scoring rule",
+        "metric",
+        metrics,
+        {name: [series[m] for m in metrics] for name, series in result.items()},
+    )
+    assert set(result) == {"policy_value", "interpolation"}
+
+
+def test_policy_value_wins_masked_accuracy(comparison):
+    assert (
+        comparison["policy_value"]["masked_top1"]
+        >= comparison["interpolation"]["masked_top1"]
+    )
+
+
+def test_policy_value_not_worse_at_system_level(comparison):
+    assert (
+        comparison["policy_value"]["system_recall"]
+        >= comparison["interpolation"]["system_recall"] - 0.05
+    )

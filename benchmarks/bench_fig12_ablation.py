@@ -1,0 +1,82 @@
+"""Figure 12-VI: ablation analysis of KAMEL's modules.
+
+Four system variants (paper 8.7): full KAMEL, "No Part." (one global
+model), "No Const." (accept every model prediction), and "No Multi."
+(a single model call per gap).
+
+Shape claims from the paper:
+* removing multipoint imputation hurts *recall* the most (only one point
+  per gap is predicted, the rest of the gap stays empty);
+* removing the spatial constraints hurts *precision* the most (noisy
+  predictions get through) while hurting recall the least;
+* removing any module leaves the full system on top overall.
+"""
+
+import pytest
+
+from repro.eval.figures import Scale, fig12_ablation
+
+from conftest import run_once, show
+
+
+@pytest.fixture(scope="module")
+def fig12(bench_scale: Scale):
+    return fig12_ablation(bench_scale)
+
+
+def _mean(values):
+    return sum(values) / len(values)
+
+
+def test_fig12_ablation_regenerate(benchmark, capsys, bench_scale):
+    result = run_once(benchmark, fig12_ablation, bench_scale)
+    xs = result["sparseness_m"]
+    for metric in ("recall", "precision", "failure_rate"):
+        show(
+            capsys,
+            f"Figure 12-VI ablation - {metric}",
+            "sparse_m",
+            xs,
+            {v: result["variants"][v][metric] for v in result["variants"]},
+        )
+    assert len(result["variants"]) == 4
+
+
+def test_no_multipoint_hurts_recall_most(fig12):
+    variants = fig12["variants"]
+    full = _mean(variants["KAMEL"]["recall"])
+    no_multi = _mean(variants["No Multi."]["recall"])
+    assert no_multi < full
+    # "affects the performance the most": worse than the other ablations.
+    assert no_multi <= _mean(variants["No Const."]["recall"]) + 0.05
+    assert no_multi <= _mean(variants["No Part."]["recall"]) + 0.05
+
+
+def test_no_constraints_hurts_precision_most(fig12):
+    variants = fig12["variants"]
+    assert _mean(variants["No Const."]["precision"]) <= _mean(
+        variants["KAMEL"]["precision"]
+    )
+
+
+def test_no_constraints_hurts_recall_least(fig12):
+    """Removing constraints still lets accurate predictions through."""
+    variants = fig12["variants"]
+    drop_const = _mean(variants["KAMEL"]["recall"]) - _mean(
+        variants["No Const."]["recall"]
+    )
+    drop_multi = _mean(variants["KAMEL"]["recall"]) - _mean(
+        variants["No Multi."]["recall"]
+    )
+    assert drop_const <= drop_multi + 0.05
+
+
+def test_full_system_wins_overall(fig12):
+    variants = fig12["variants"]
+    full_score = _mean(variants["KAMEL"]["recall"]) + _mean(
+        variants["KAMEL"]["precision"]
+    )
+    for name, series in variants.items():
+        if name == "KAMEL":
+            continue
+        assert full_score >= _mean(series["recall"]) + _mean(series["precision"]) - 0.05

@@ -1,0 +1,75 @@
+"""Figure 12-I/II: impact of road type (straight vs curved segments).
+
+Test segments are classified straight/curved by comparing the endpoint
+Euclidean distance against the distance travelled along the ground truth
+(5 m criterion, Section 8.4), then each class is scored separately.
+
+Shape claims: on straight segments linear interpolation is competitive
+(its geometry is exactly right); on curved segments KAMEL clearly beats
+linear, which must cut the curve.
+"""
+
+import pytest
+
+from repro.eval.figures import Scale, fig12_road_type
+
+from conftest import run_once, show
+
+
+@pytest.fixture(scope="module")
+def fig12(bench_scale: Scale):
+    return fig12_road_type(bench_scale)
+
+
+def test_fig12_road_type_regenerate(benchmark, capsys, bench_scale):
+    result = run_once(benchmark, fig12_road_type, bench_scale)
+    xs = result["sparseness_m"]
+    for road_class, series in result["classes"].items():
+        for metric in ("recall", "precision", "failure_rate", "num_segments"):
+            show(
+                capsys,
+                f"Figure 12-{'I' if road_class == 'straight' else 'II'} "
+                f"{road_class} segments - {metric}",
+                "sparse_m",
+                xs,
+                {m: series[m][metric] for m in series},
+            )
+    assert result["classes"]
+
+
+def _populated(series):
+    """Indices of sweep points where the class actually has segments
+    (wide gaps on a small city may contain no straight segments at all)."""
+    return [i for i, n in enumerate(series["num_segments"]) if n > 0]
+
+
+def test_linear_competitive_on_straight_segments(fig12):
+    straight = fig12["classes"]["straight"]
+    populated = _populated(straight["Linear"])
+    assert populated, "no straight segments classified at any sparseness"
+    # Straight lines on straight roads: high recall by construction.
+    for i in populated:
+        assert straight["Linear"]["recall"][i] > 0.5
+
+
+def test_linear_collapses_on_curved_segments(fig12):
+    straight = fig12["classes"]["straight"]
+    curved = fig12["classes"]["curved"]
+    for i in _populated(straight["Linear"]):
+        assert straight["Linear"]["recall"][i] > curved["Linear"]["recall"][i]
+
+
+def test_kamel_beats_linear_on_curves(fig12):
+    curved = fig12["classes"]["curved"]
+    for k_val, l_val in zip(curved["KAMEL"]["recall"], curved["Linear"]["recall"]):
+        assert k_val > l_val
+
+
+def test_kamel_resilient_across_classes(fig12):
+    """Paper: KAMEL has the highest performance on curved segments and
+    stays strong on straight ones."""
+    for road_class in ("straight", "curved"):
+        series = fig12["classes"][road_class]
+        kamel = series["KAMEL"]["recall"]
+        trimpute = series["TrImpute"]["recall"]
+        assert sum(kamel) / len(kamel) >= sum(trimpute) / len(trimpute) - 0.05

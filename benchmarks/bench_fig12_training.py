@@ -1,0 +1,90 @@
+"""Figure 12-IV/V: impact of training data size and density.
+
+IV — KAMEL trained on 100/75/50/25 % of the training trajectories.
+Shape claim (paper 8.6): 100/75/50 % perform almost identically; only
+25 % shows a noticeable reduction.
+
+V — KAMEL trained on the same trajectories down-sampled to 1/15/30/60 s
+intervals. Shape claim: 1 s and 15 s are nearly identical ("KAMEL can
+still work perfectly fine with only 7 % of its available data"); 30/60 s
+degrade.
+"""
+
+import pytest
+
+from repro.eval.figures import Scale, fig12_training_density, fig12_training_size
+
+from conftest import run_once, show
+
+
+@pytest.fixture(scope="module")
+def size_fig(bench_scale: Scale):
+    return fig12_training_size(bench_scale)
+
+
+@pytest.fixture(scope="module")
+def density_fig(bench_scale: Scale):
+    return fig12_training_density(bench_scale)
+
+
+def test_fig12_training_size_regenerate(benchmark, capsys, bench_scale):
+    result = run_once(benchmark, fig12_training_size, bench_scale)
+    labels = list(result["series"])
+    for metric in ("recall", "precision", "failure_rate"):
+        show(
+            capsys,
+            f"Figure 12-IV training size - {metric}",
+            "fraction",
+            labels,
+            {metric: [result["series"][label][metric] for label in labels]},
+        )
+    assert result["series"]
+
+
+def test_fig12_training_density_regenerate(benchmark, capsys, bench_scale):
+    result = run_once(benchmark, fig12_training_density, bench_scale)
+    labels = list(result["series"])
+    for metric in ("recall", "precision", "failure_rate"):
+        show(
+            capsys,
+            f"Figure 12-V training density - {metric}",
+            "sampling",
+            labels,
+            {metric: [result["series"][label][metric] for label in labels]},
+        )
+    assert result["series"]
+
+
+def test_half_data_nearly_as_good(size_fig):
+    series = size_fig["series"]
+    assert series["50%"]["recall"] >= series["100%"]["recall"] - 0.12
+
+
+def test_quarter_data_noticeably_worse_or_equal(size_fig):
+    series = size_fig["series"]
+    assert series["25%"]["recall"] <= series["100%"]["recall"] + 0.05
+
+
+def test_more_data_never_hurts_much(size_fig):
+    series = size_fig["series"]
+    assert series["100%"]["recall"] >= series["25%"]["recall"] - 0.05
+
+
+def test_15s_sampling_retains_most_quality(density_fig):
+    """Paper: 1 s and 15 s are nearly identical. With the far smaller
+    synthetic training set the drop is larger but 15 s still retains the
+    bulk of the 1 s quality (deviation recorded in EXPERIMENTS.md)."""
+    series = density_fig["series"]
+    assert series["15s"]["recall"] >= 0.7 * series["1s"]["recall"]
+
+
+def test_density_degradation_is_monotone(density_fig):
+    series = density_fig["series"]
+    values = [series[k]["recall"] for k in ("1s", "15s", "30s", "60s")]
+    for denser, sparser in zip(values, values[1:]):
+        assert sparser <= denser + 0.05
+
+
+def test_sparse_sampling_degrades(density_fig):
+    series = density_fig["series"]
+    assert series["60s"]["recall"] <= series["1s"]["recall"] + 0.05

@@ -1,0 +1,45 @@
+"""Figure 3(d): accuracy as a function of the tokenization cell size.
+
+Sweeps the hexagon edge length through the paper's trade-off (Section
+3.2): tiny cells make tokens too rare to learn (training-data factor),
+huge cells stop being representative. Shape claim: the curve is unimodal
+with an interior optimum — both extremes underperform the middle.
+"""
+
+import pytest
+
+from repro.eval.figures import Scale, fig3_cell_size
+
+from conftest import run_once, show
+
+SIZES = (25.0, 50.0, 75.0, 150.0, 300.0)
+
+
+@pytest.fixture(scope="module")
+def fig3(bench_scale: Scale):
+    return fig3_cell_size(bench_scale, cell_sizes_m=SIZES)
+
+
+def test_fig3_cell_size_regenerate(benchmark, capsys, bench_scale):
+    result = run_once(benchmark, fig3_cell_size, bench_scale, cell_sizes_m=SIZES)
+    show(
+        capsys,
+        "Figure 3(d) accuracy vs cell size",
+        "edge_m",
+        result["cell_sizes_m"],
+        result["series"],
+    )
+    assert len(result["series"]["recall"]) == len(SIZES)
+
+
+def test_interior_optimum(fig3):
+    recall = fig3["series"]["recall"]
+    best = max(range(len(recall)), key=lambda i: recall[i])
+    assert 0 < best < len(recall) - 1, "optimum must not sit at either extreme"
+
+
+def test_extremes_below_peak(fig3):
+    recall = fig3["series"]["recall"]
+    peak = max(recall)
+    assert recall[0] <= peak
+    assert recall[-1] <= peak

@@ -1,0 +1,77 @@
+"""Extension experiment E11: map inference quality with/without KAMEL.
+
+The paper's introduction motivates imputation as "a preparation step
+before any map inference technique". This benchmark quantifies that claim
+end to end on the synthetic city: infer the road map (a) from the sparse
+trajectories, (b) from the KAMEL-imputed trajectories, and (c) from the
+dense ground truth, then score each against the true network (GEO-style
+precision/recall).
+
+Expected shape: imputed >> sparse on F1; imputed approaches the
+ground-truth ceiling.
+"""
+
+import pytest
+
+from repro.eval.figures import Scale, jakarta_workload
+from repro.eval.harness import ExperimentRunner, kamel_builder
+from repro.mapinference import TrajectoryMapInference, evaluate_inferred_map
+
+from conftest import run_once, show
+
+MIN_VISITS = 1
+
+
+def _map_scores(bench_scale):
+    workload = jakarta_workload(bench_scale).with_sparseness(1000.0)
+    runner = ExperimentRunner(workload)
+    results, _ = runner.impute("KAMEL", kamel_builder())
+    imputed = [r.trajectory for r in results]
+
+    engine = TrajectoryMapInference()
+    network = workload.dataset.network
+    out = {}
+    for label, trajectories in (
+        ("sparse", list(workload.test_sparse)),
+        ("imputed", imputed),
+        ("ground truth", list(workload.test_truth)),
+    ):
+        scores = evaluate_inferred_map(
+            engine.infer(trajectories), network, min_visits=MIN_VISITS
+        )
+        out[label] = scores
+    return out
+
+
+@pytest.fixture(scope="module")
+def map_scores(bench_scale: Scale):
+    return _map_scores(bench_scale)
+
+
+def test_map_inference_regenerate(benchmark, capsys, bench_scale):
+    scores = run_once(benchmark, _map_scores, bench_scale)
+    show(
+        capsys,
+        "E11 map inference quality (GEO precision/recall vs true network)",
+        "input",
+        list(scores),
+        {
+            "precision": [scores[k].precision for k in scores],
+            "recall": [scores[k].recall for k in scores],
+            "f1": [scores[k].f1 for k in scores],
+        },
+    )
+    assert scores
+
+
+def test_imputation_improves_map_f1(map_scores):
+    assert map_scores["imputed"].f1 > map_scores["sparse"].f1
+
+
+def test_imputation_improves_map_precision(map_scores):
+    """Sparse chords cut across blocks: hallucinated roads."""
+    assert map_scores["imputed"].precision > map_scores["sparse"].precision
+
+
+def test_imputed_map_approaches_ground_truth(map_scores):
+    assert map_scores["imputed"].f1 >= 0.8 * map_scores["ground truth"].f1

@@ -1,0 +1,85 @@
+"""Scalability: imputation cost must not grow with the training corpus.
+
+Paper Section 4.1: "Calling the model does not scan or read any
+trajectory data after it has been trained offline, which makes KAMEL
+highly scalable." This benchmark trains on increasing corpus sizes and
+measures (a) per-trajectory imputation latency — which must stay flat —
+and (b) training time — which may grow.
+"""
+
+import time
+
+import pytest
+
+from repro.core.config import KamelConfig
+from repro.core.kamel import Kamel
+from repro.roadnet.datasets import make_porto_like
+
+from conftest import run_once, show
+
+CORPUS_SIZES = (200, 400, 800)
+N_QUERIES = 6
+SPARSENESS = 800.0
+
+
+def _measure():
+    out = {"corpus": [], "train_s": [], "impute_ms_per_traj": [], "failure": []}
+    # One shared city; one held-out query set reused at every size so the
+    # imputation work is identical across rows.
+    full = make_porto_like(n_trajectories=max(CORPUS_SIZES) + 50)
+    queries = [t.sparsify(SPARSENESS) for t in full.trajectories[-N_QUERIES:]]
+    pool = full.trajectories[: max(CORPUS_SIZES)]
+    for size in CORPUS_SIZES:
+        system = Kamel(KamelConfig())
+        t0 = time.perf_counter()
+        system.fit(list(pool[:size]))
+        train_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        results = system.impute_batch(queries)
+        impute_s = time.perf_counter() - t0
+        out["corpus"].append(size)
+        out["train_s"].append(train_s)
+        out["impute_ms_per_traj"].append(impute_s / len(queries) * 1000.0)
+        out["failure"].append(
+            sum(r.num_failed for r in results) / max(1, sum(r.num_segments for r in results))
+        )
+    return out
+
+
+@pytest.fixture(scope="module")
+def scalability():
+    return _measure()
+
+
+def test_scalability_regenerate(benchmark, capsys):
+    result = run_once(benchmark, _measure)
+    show(
+        capsys,
+        "Scalability: imputation latency vs training corpus size (4.1)",
+        "corpus",
+        result["corpus"],
+        {
+            "train_s": result["train_s"],
+            "impute_ms/traj": result["impute_ms_per_traj"],
+            "failure": result["failure"],
+        },
+    )
+    assert len(result["corpus"]) == len(CORPUS_SIZES)
+
+
+def test_imputation_latency_flat(scalability):
+    """4x more training data must not mean 4x slower imputation.
+
+    Latency may wiggle (more models, denser candidate sets); the claim is
+    the absence of linear growth."""
+    latencies = scalability["impute_ms_per_traj"]
+    assert max(latencies) <= 3.0 * min(latencies)
+
+
+def test_training_time_grows_with_corpus(scalability):
+    assert scalability["train_s"][-1] > scalability["train_s"][0]
+
+
+def test_more_data_never_raises_failure_much(scalability):
+    failures = scalability["failure"]
+    assert failures[-1] <= failures[0] + 0.1

@@ -1,0 +1,37 @@
+"""Render imputation results to SVG for visual inspection.
+
+Produces ``imputation_<k>.svg`` files in the working directory: the road
+network in grey, the ground-truth trajectory in green, the KAMEL-imputed
+path in blue (failed straight-line segments dashed red), and the sparse
+input fixes as black dots.
+
+Run with::
+
+    python examples/visualize_imputation.py
+"""
+
+from repro import Kamel, KamelConfig, make_jakarta_like
+from repro.viz import render_imputation
+
+N_PICTURES = 3
+
+
+def main() -> None:
+    dataset = make_jakarta_like(n_trajectories=150)
+    train, test = dataset.split()
+    system = Kamel(KamelConfig()).fit(train)
+
+    for k, truth in enumerate(test[:N_PICTURES]):
+        sparse = truth.sparsify(1000.0)
+        result = system.impute(sparse)
+        canvas = render_imputation(truth, sparse, result, network=dataset.network)
+        path = canvas.save(f"imputation_{k}.svg")
+        print(
+            f"{path}: {len(sparse)} sparse -> {len(result.trajectory)} points, "
+            f"{result.num_failed}/{result.num_segments} failures"
+        )
+    print("\nOpen the SVGs in any browser to inspect the imputations.")
+
+
+if __name__ == "__main__":
+    main()

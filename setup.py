@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The sandbox this reproduction runs in has no network access and no
+``wheel`` package, so PEP 660 editable installs (``pip install -e .``)
+cannot build their wheel. This shim lets ``python setup.py develop``
+provide the equivalent editable install; all metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,61 @@
+"""KAMEL reproduction: a scalable BERT-based system for trajectory imputation.
+
+This package reproduces the system of Musleh & Mokbel, *"KAMEL: A Scalable
+BERT-based System for Trajectory Imputation"* (PVLDB 17(3), 2023; demo at
+SIGMOD 2023), entirely from scratch: the five KAMEL modules, a numpy
+transformer masked LM, a hexagonal-grid tokenizer, a synthetic-city GPS
+substrate, the paper's baselines, and the full experiment harness.
+
+Quickstart::
+
+    from repro import Kamel, KamelConfig, make_porto_like
+
+    dataset = make_porto_like(n_trajectories=200)
+    train, test = dataset.split()
+    system = Kamel(KamelConfig()).fit(train)
+    dense = system.impute(test[0].sparsify(1000.0))
+    print(len(test[0]), "->", len(dense.trajectory))
+"""
+
+from repro.core import Kamel, KamelConfig
+from repro.core.result import ImputationResult, Imputer, SegmentOutcome
+from repro.geo import BoundingBox, LocalProjection, Point, Trajectory
+from repro.grid import HexGrid, SquareGrid
+from repro.baselines import HmmMapMatcher, LinearImputer, TrImpute
+from repro.roadnet import (
+    Dataset,
+    RoadNetwork,
+    TrajectorySimulator,
+    generate_city,
+    make_jakarta_like,
+    make_porto_like,
+)
+from repro.eval import build_workload, evaluate_imputation
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BoundingBox",
+    "Dataset",
+    "HexGrid",
+    "HmmMapMatcher",
+    "ImputationResult",
+    "Imputer",
+    "Kamel",
+    "KamelConfig",
+    "LinearImputer",
+    "LocalProjection",
+    "Point",
+    "RoadNetwork",
+    "SegmentOutcome",
+    "SquareGrid",
+    "Trajectory",
+    "TrajectorySimulator",
+    "TrImpute",
+    "build_workload",
+    "evaluate_imputation",
+    "generate_city",
+    "make_jakarta_like",
+    "make_porto_like",
+    "__version__",
+]

@@ -1,0 +1,6 @@
+"""``python -m repro`` entry point (same as the ``kamel`` console script)."""
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,215 @@
+"""Command-line interface: run comparisons and regenerate paper figures.
+
+Examples::
+
+    kamel compare --dataset porto --sparseness 800
+    kamel figure fig9
+    kamel figure fig12-ablation --full
+    kamel list-figures
+    kamel impute --train train.csv --input sparse.csv --output dense.csv
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from repro.eval.figures import ALL_FIGURES, Scale, jakarta_workload, porto_workload
+from repro.eval.harness import ExperimentRunner
+from repro.eval.report import render_table
+
+
+def _cmd_list_figures(_: argparse.Namespace) -> int:
+    for name, fn in ALL_FIGURES.items():
+        doc = (fn.__doc__ or "").strip().splitlines()[0]
+        print(f"{name:24s} {doc}")
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    if args.name not in ALL_FIGURES:
+        print(f"unknown figure {args.name!r}; try `kamel list-figures`", file=sys.stderr)
+        return 2
+    scale = Scale.full() if args.full else Scale.small()
+    result = ALL_FIGURES[args.name](scale)
+    print(json.dumps(result, indent=2, default=float))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    scale = Scale.full() if args.full else Scale.small()
+    if args.dataset == "porto":
+        workload = porto_workload(scale)
+    else:
+        workload = jakarta_workload(scale)
+    workload = workload.with_sparseness(args.sparseness)
+    if args.delta is not None:
+        workload = workload.with_delta(args.delta)
+    runner = ExperimentRunner(workload)
+    rows = []
+    for method in args.methods:
+        scores = runner.run_default(method)
+        rows.append(
+            [
+                method,
+                f"{scores.scores.recall:.3f}",
+                f"{scores.scores.precision:.3f}",
+                f"{scores.scores.failure_rate:.3f}",
+                f"{scores.train_time_s:.2f}",
+                f"{scores.impute_time_s:.2f}",
+            ]
+        )
+    print(
+        render_table(
+            ["method", "recall", "precision", "failure", "train_s", "impute_s"], rows
+        )
+    )
+    return 0
+
+
+def _cmd_impute(args: argparse.Namespace) -> int:
+    from repro.core.config import KamelConfig
+    from repro.core.kamel import Kamel
+    from repro.geo.adapter import projection_for, trajectory_from_latlon
+    from repro.io.csvio import imputed_point_flags, read_latlon_csv, write_latlon_csv
+
+    train_logs = read_latlon_csv(args.train)
+    sparse_logs = read_latlon_csv(args.input)
+    all_records = [r for _, records in train_logs for r in records]
+    projection = projection_for(all_records)
+
+    train = [
+        trajectory_from_latlon(tid, records, projection) for tid, records in train_logs
+    ]
+    sparse = [
+        trajectory_from_latlon(tid, records, projection) for tid, records in sparse_logs
+    ]
+
+    config = KamelConfig(cell_edge_m=args.cell_size, maxgap_m=args.maxgap)
+    system = Kamel(config).fit(train)
+    results = system.impute_batch(sparse)
+
+    dense = [r.trajectory for r in results]
+    flags = [imputed_point_flags(s, d) for s, d in zip(sparse, dense)]
+    write_latlon_csv(args.output, dense, projection, flags)
+
+    segments = sum(r.num_segments for r in results)
+    failed = sum(r.num_failed for r in results)
+    inserted = sum(sum(f) for f in flags)
+    print(
+        f"imputed {len(sparse)} trajectories: inserted {inserted} points, "
+        f"{failed}/{segments} segments fell back to a straight line"
+    )
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.eval.report import figure_to_markdown
+
+    scale = Scale.full() if args.full else Scale.small()
+    names = args.figures or list(ALL_FIGURES)
+    sections = ["# Reproduction report", ""]
+    for name in names:
+        if name not in ALL_FIGURES:
+            print(f"unknown figure {name!r}; try `kamel list-figures`", file=sys.stderr)
+            return 2
+        result = ALL_FIGURES[name](scale)
+        sections.append(figure_to_markdown(name, result))
+    report = "\n".join(sections)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(report)
+        print(f"wrote {args.output}")
+    else:
+        print(report)
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    from repro.io import load_kamel
+
+    system = load_kamel(args.model_dir)
+    repo = system.repository
+    rows = [
+        ["backend", system.config.model_backend],
+        ["grid", f"{system.config.grid_type} ({system.tokenizer.grid.edge_length_m:.0f} m)"],
+        ["vocabulary", str(len(system.tokenizer.vocabulary))],
+        ["stored trajectories", str(len(system.store))],
+        ["stored tokens", str(system.store.total_tokens)],
+        ["max speed (m/s)", f"{system.max_speed_mps:.1f}" if system.max_speed_mps else "-"],
+        ["gap threshold (m)", f"{system.gap_threshold_m:.0f}" if system.gap_threshold_m else "-"],
+        ["detokenizer cells", str(system.detokenizer.num_cells)],
+    ]
+    if system._global_model is not None:
+        rows.append(["global model tokens", str(system._global_model.num_training_tokens)])
+    if repo is not None and repo.num_models:
+        stats = repo.stats()
+        rows.append(["single-cell models", str(stats.single_models)])
+        rows.append(["neighbor-cell models", str(stats.neighbor_models)])
+        rows.append(
+            ["models per level", ", ".join(f"L{k}: {v}" for k, v in sorted(stats.models_per_level.items()))]
+        )
+        rows.append(["model rebuilds", str(stats.rebuilds)])
+    print(render_table(["property", "value"], rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="kamel",
+        description="KAMEL reproduction: trajectory imputation experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list-figures", help="list reproducible paper figures")
+    p_list.set_defaults(func=_cmd_list_figures)
+
+    p_fig = sub.add_parser("figure", help="run one paper figure, print JSON series")
+    p_fig.add_argument("name", help="figure id, e.g. fig9 (see list-figures)")
+    p_fig.add_argument("--full", action="store_true", help="full-scale run (slow)")
+    p_fig.set_defaults(func=_cmd_figure)
+
+    p_cmp = sub.add_parser("compare", help="compare methods on one workload")
+    p_cmp.add_argument("--dataset", choices=("porto", "jakarta"), default="porto")
+    p_cmp.add_argument("--sparseness", type=float, default=800.0, help="imposed gap (m)")
+    p_cmp.add_argument("--delta", type=float, default=None, help="accuracy threshold (m)")
+    p_cmp.add_argument(
+        "--methods",
+        nargs="+",
+        default=["KAMEL", "TrImpute", "Linear", "MapMatch"],
+        choices=["KAMEL", "TrImpute", "Linear", "MapMatch"],
+    )
+    p_cmp.add_argument("--full", action="store_true")
+    p_cmp.set_defaults(func=_cmd_compare)
+
+    p_imp = sub.add_parser(
+        "impute", help="train on a CSV of GPS fixes and impute another"
+    )
+    p_imp.add_argument("--train", required=True, help="training CSV (traj_id,lat,lon,t)")
+    p_imp.add_argument("--input", required=True, help="sparse CSV to impute")
+    p_imp.add_argument("--output", required=True, help="dense CSV to write")
+    p_imp.add_argument("--cell-size", type=float, default=75.0, help="hexagon edge (m)")
+    p_imp.add_argument("--maxgap", type=float, default=100.0, help="maxgap (m)")
+    p_imp.set_defaults(func=_cmd_impute)
+
+    p_rep = sub.add_parser("report", help="regenerate figures as a markdown report")
+    p_rep.add_argument("--figures", nargs="*", help="figure ids (default: all)")
+    p_rep.add_argument("--output", help="write to a file instead of stdout")
+    p_rep.add_argument("--full", action="store_true")
+    p_rep.set_defaults(func=_cmd_report)
+
+    p_ins = sub.add_parser("inspect", help="summarize a saved model directory")
+    p_ins.add_argument("model_dir", help="directory written by Kamel.save()")
+    p_ins.set_defaults(func=_cmd_inspect)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

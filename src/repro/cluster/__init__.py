@@ -1,0 +1,5 @@
+"""Clustering primitives (from-scratch DBSCAN) used by detokenization."""
+
+from repro.cluster.dbscan import DBSCAN, NOISE, dbscan_labels
+
+__all__ = ["DBSCAN", "NOISE", "dbscan_labels"]

@@ -1,0 +1,48 @@
+"""KAMEL's core: the five paper modules and the system facade.
+
+* :mod:`repro.core.tokenization` — Section 3 (hexagonal tokenization and
+  cell-size optimization),
+* :mod:`repro.core.partitioning` — Section 4 (pyramid model repository and
+  trajectory store),
+* :mod:`repro.core.constraints` — Section 5 (speed / direction constraints
+  and cycle prevention),
+* :mod:`repro.core.imputation` — Section 6 (iterative BERT calling and
+  bidirectional beam search),
+* :mod:`repro.core.detokenization` — Section 7 (DBSCAN cluster centroids),
+* :mod:`repro.core.kamel` — the assembled system (Figure 1).
+"""
+
+from repro.core.config import KamelConfig
+from repro.core.result import ImputationResult, Imputer, SegmentOutcome
+from repro.core.tokenization import TokenSequence, Tokenizer
+from repro.core.store import TrajectoryStore
+from repro.core.constraints import GapContext, SpatialConstraints
+from repro.core.imputation import BeamSearchImputer, IterativeImputer, SegmentImputer
+from repro.core.partitioning import ModelRepository, PyramidIndex
+from repro.core.detokenization import Detokenizer
+from repro.core.kamel import Kamel
+from repro.core.streaming import StreamingConfig, StreamingImputationService, StreamStats
+from repro.core.tuning import tune_cell_size
+
+__all__ = [
+    "BeamSearchImputer",
+    "Detokenizer",
+    "GapContext",
+    "ImputationResult",
+    "Imputer",
+    "IterativeImputer",
+    "Kamel",
+    "KamelConfig",
+    "ModelRepository",
+    "PyramidIndex",
+    "SegmentImputer",
+    "SegmentOutcome",
+    "SpatialConstraints",
+    "StreamStats",
+    "StreamingConfig",
+    "StreamingImputationService",
+    "TokenSequence",
+    "Tokenizer",
+    "TrajectoryStore",
+    "tune_cell_size",
+]

@@ -1,0 +1,171 @@
+"""System configuration with the paper's defaults (Section 8)."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class KamelConfig:
+    """Every knob of the KAMEL system, defaulted to the paper's choices.
+
+    The paper tunes hexagon edge 75 m, beam size 10, ``maxgap`` 100 m,
+    direction cone 45 degrees, cycle window 6, and length-normalization
+    strength 1 (Sections 3–8). Pyramid height/levels and the model
+    threshold ``k`` are scaled down relative to the paper's city-scale
+    deployments; the defaults here suit the ~3 km synthetic cities of
+    :mod:`repro.roadnet`.
+    """
+
+    # -- Tokenization (Section 3) --
+    grid_type: str = "hex"
+    """``"hex"`` (Uber-H3-style, paper default) or ``"square"`` (S2-style)."""
+    cell_edge_m: float = 75.0
+    auto_tune_cell_size: bool = False
+    """When True, :meth:`repro.core.kamel.Kamel.fit` sweeps candidate cell
+    sizes on a sample of the training data (Section 3.2)."""
+    cell_size_candidates: tuple[float, ...] = (25.0, 50.0, 75.0, 100.0, 150.0)
+
+    # -- Model backend (the "BERT" black box) --
+    model_backend: str = "counting"
+    """``"bert"`` (transformer MLM, faithful but slow) or ``"counting"``
+    (drop-in fast backend; see DESIGN.md substitution table)."""
+    bert_hidden_size: int = 48
+    bert_num_layers: int = 2
+    bert_num_heads: int = 2
+    bert_max_seq_len: int = 64
+    bert_epochs: int = 20
+    bert_lr: float = 3e-3
+    top_k_candidates: int = 10
+    """Candidates requested from the masked model per call."""
+
+    # -- Partitioning (Section 4) --
+    use_partitioning: bool = True
+    """Ablation switch: False trains one model for all data (Fig. 12-VI)."""
+    pyramid_height: int = 5
+    """H: leaf level is ``H - 1`` (the paper uses 10 at city scale)."""
+    pyramid_levels: int = 3
+    """L: number of lowest pyramid levels that maintain models."""
+    pyramid_root_extent_m: float = 96_000.0
+    """Side length of the pyramid root cell ("the whole space"). The paper
+    roots its pyramid at the whole world with city-scale leaves; 96 km with
+    H=5 gives 6 km leaves — comfortably enclosing the ~3 km synthetic
+    cities the way Porto sat inside one leaf in the paper's deployment."""
+    model_threshold_k: int = 500
+    """k: minimum token count to build a leaf model (paper default 20 000;
+    scaled for synthetic cities). A model at level ``l`` needs
+    ``k * 4**(leaf_level - l)`` tokens; neighbor-cell models need double."""
+
+    # -- Spatial constraints (Section 5) --
+    use_constraints: bool = True
+    """Ablation switch: False accepts every model prediction (Fig. 12-VI)."""
+    max_speed_mps: Optional[float] = None
+    """Speed-ellipse bound; ``None`` infers it from training data (paper:
+    "a fixed speed inferred from its training trajectory data")."""
+    speed_mode: str = "fixed"
+    """``"fixed"`` uses the single inferred/fleet-wide maximum speed
+    (paper default). ``"adaptive"`` implements the paper's mentioned
+    alternative: "consider the speed of the preceding imputed segment
+    multiplied by a conservative factor" — each segment's ellipse is
+    bounded by the previous segment's observed speed times
+    ``adaptive_speed_factor`` (falling back to the fixed bound when no
+    preceding segment exists)."""
+    adaptive_speed_factor: float = 1.5
+    speed_slack: float = 1.25
+    """Multiplier on the inferred max speed (conservative headroom)."""
+    ellipse_min_sum_m: float = 250.0
+    """Lower bound on the ellipse distance sum, so near-instantaneous
+    segment endpoints still admit at least a few cells."""
+    local_detour_slack_m: float = 250.0
+    """Per-insertion movement constraint: a token inserted between the two
+    current gap endpoints u, v must satisfy ``d(c,u) + d(c,v) <= d(u,v) +
+    slack``. This is the speed constraint applied recursively to every
+    sub-gap: each insertion may detour by at most ``slack`` meters, so
+    curved roads (U-turns, roundabouts) remain imputable while the search
+    is forced to make net progress across the gap."""
+    cone_half_angle_deg: float = 45.0
+    cycle_window: int = 6
+    """x: maximum repeated-suffix length checked by cycle prevention."""
+
+    # -- Multipoint imputation (Section 6) --
+    use_multipoint: bool = True
+    """Ablation switch: False performs a single model call per gap."""
+    imputer: str = "beam"
+    """``"beam"`` (Algorithm 2, paper default) or ``"iterative"`` (Alg. 1)."""
+    maxgap_m: float = 100.0
+    beam_size: int = 10
+    length_norm_alpha: float = 1.0
+    max_model_calls: int = 1500
+    """Hard limit per gap; exceeding it is a failure -> linear fallback.
+    Beam search expands every open gap of every surviving beam entry per
+    round, so long gaps (15+ tokens) legitimately need hundreds of calls."""
+
+    # -- Detokenization (Section 7) --
+    dbscan_min_samples: int = 4
+    dbscan_eps_fraction: float = 0.35
+    """DBSCAN epsilon as a fraction of the cell edge length."""
+    direction_weight_m: float = 60.0
+    """Scale converting direction (unit circle) into meters for clustering,
+    so points moving opposite ways on the same road separate."""
+
+    # -- misc --
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.grid_type not in ("hex", "square"):
+            raise ConfigError(f"grid_type must be 'hex' or 'square', got {self.grid_type!r}")
+        if self.speed_mode not in ("fixed", "adaptive"):
+            raise ConfigError(
+                f"speed_mode must be 'fixed' or 'adaptive', got {self.speed_mode!r}"
+            )
+        if self.adaptive_speed_factor <= 0:
+            raise ConfigError("adaptive_speed_factor must be positive")
+        if self.model_backend not in ("counting", "bert"):
+            raise ConfigError(
+                f"model_backend must be 'counting' or 'bert', got {self.model_backend!r}"
+            )
+        if self.imputer not in ("beam", "iterative"):
+            raise ConfigError(f"imputer must be 'beam' or 'iterative', got {self.imputer!r}")
+        if self.cell_edge_m <= 0:
+            raise ConfigError("cell_edge_m must be positive")
+        if self.maxgap_m <= 0:
+            raise ConfigError("maxgap_m must be positive")
+        if self.beam_size < 1:
+            raise ConfigError("beam_size must be >= 1")
+        if not 0.0 <= self.length_norm_alpha <= 1.0:
+            raise ConfigError("length_norm_alpha must be in [0, 1]")
+        if self.cycle_window < 1:
+            raise ConfigError("cycle_window must be >= 1")
+        if not 0.0 < self.cone_half_angle_deg < 90.0:
+            raise ConfigError("cone_half_angle_deg must be in (0, 90)")
+        if self.pyramid_levels < 1 or self.pyramid_levels > self.pyramid_height:
+            raise ConfigError("pyramid_levels must be in [1, pyramid_height]")
+        if self.pyramid_root_extent_m <= 0:
+            raise ConfigError("pyramid_root_extent_m must be positive")
+        if self.model_threshold_k < 1:
+            raise ConfigError("model_threshold_k must be >= 1")
+        if self.max_model_calls < 1:
+            raise ConfigError("max_model_calls must be >= 1")
+        if self.top_k_candidates < 1:
+            raise ConfigError("top_k_candidates must be >= 1")
+
+    @property
+    def cone_half_angle_rad(self) -> float:
+        return math.radians(self.cone_half_angle_deg)
+
+    @property
+    def leaf_level(self) -> int:
+        return self.pyramid_height - 1
+
+    def model_threshold(self, level: int) -> int:
+        """Token count required for a single-cell model at ``level``."""
+        if not 0 <= level <= self.leaf_level:
+            raise ConfigError(f"level {level} outside pyramid of height {self.pyramid_height}")
+        return self.model_threshold_k * 4 ** (self.leaf_level - level)
+
+
+DEFAULT_CONFIG = KamelConfig()

@@ -1,0 +1,231 @@
+"""Spatial constraints on model output (paper Section 5).
+
+Three filters applied to every batch of candidate tokens coming out of the
+masked model before the multipoint-imputation module may use them:
+
+* **speed ellipse** — a candidate must lie inside the ellipse whose foci
+  are the segment end tokens S and D and whose distance sum is what the
+  maximum speed allows within the segment's time span (Section 5.1);
+* **direction cones** — a candidate must not fall within the configured
+  angle of the direction from S back toward its previous token, nor of
+  the direction from D onward toward its next token (Section 5.1);
+* **cycle prevention** — inserting the candidate must not create a
+  repeated consecutive token block of length up to ``x`` (Section 5.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.config import KamelConfig
+from repro.core.tokenization import Tokenizer
+from repro.geo import Point
+from repro.geo.point import angle_difference
+from repro.mlm.base import TokenProb
+
+
+@dataclass(frozen=True)
+class GapContext:
+    """Everything the constraints need to know about one segment.
+
+    ``source``/``dest`` are the segment end tokens (S and D in the paper's
+    figures); ``prev_token``/``next_token`` are the trajectory tokens just
+    before S and just after D (t1 and t2), when they exist. Times are the
+    raw GPS timestamps of the segment endpoints.
+    """
+
+    source: int
+    dest: int
+    source_time: Optional[float] = None
+    dest_time: Optional[float] = None
+    prev_token: Optional[int] = None
+    next_token: Optional[int] = None
+    reference_speed_mps: Optional[float] = None
+    """Observed speed of the preceding imputed segment, for the paper's
+    adaptive speed-constraint variant (``KamelConfig.speed_mode``)."""
+
+
+def creates_cycle(tokens: Sequence[int], insert_pos: int, candidate: int, window: int) -> bool:
+    """Would inserting ``candidate`` after ``tokens[insert_pos]`` repeat a block?
+
+    Checks every pair of adjacent equal blocks of length 1..``window`` that
+    includes the inserted token — the paper's "sequence of the last x
+    tokens are repeated" test, applied locally around the insertion point
+    (tokens elsewhere are unchanged, so no new cycle can appear there).
+    """
+    new = list(tokens[: insert_pos + 1]) + [candidate] + list(tokens[insert_pos + 1 :])
+    inserted_at = insert_pos + 1
+    n = len(new)
+    for block in range(1, window + 1):
+        # Two adjacent blocks occupy [start, start+2*block); consider every
+        # placement that covers the inserted index.
+        lo = max(0, inserted_at - 2 * block + 1)
+        hi = min(inserted_at, n - 2 * block)
+        for start in range(lo, hi + 1):
+            first = new[start : start + block]
+            second = new[start + block : start + 2 * block]
+            if first == second:
+                return True
+    return False
+
+
+class SpatialConstraints:
+    """Applies the Section 5 filters to candidate tokens."""
+
+    def __init__(
+        self,
+        tokenizer: Tokenizer,
+        config: KamelConfig,
+        max_speed_mps: float,
+    ) -> None:
+        if max_speed_mps <= 0:
+            raise ValueError(f"max_speed_mps must be positive, got {max_speed_mps!r}")
+        self.tokenizer = tokenizer
+        self.config = config
+        self.max_speed_mps = max_speed_mps
+
+    # -- individual constraints -------------------------------------------
+
+    def ellipse_distance_sum(self, ctx: GapContext) -> float:
+        """The speed-ellipse bound for this segment (meters).
+
+        ``max_speed * TimeDiff(S, D)`` per the paper, with a slack factor
+        and a geometric floor (the straight-line distance plus a couple of
+        cells) so zero/short time differences never exclude everything.
+        """
+        s_pt = self.tokenizer.centroid_of_token(ctx.source)
+        d_pt = self.tokenizer.centroid_of_token(ctx.dest)
+        straight = s_pt.distance_to(d_pt)
+        floor = max(
+            self.config.ellipse_min_sum_m,
+            straight + 2.0 * self.tokenizer.grid.centroid_spacing_m,
+        )
+        if ctx.source_time is None or ctx.dest_time is None:
+            return floor
+        time_diff = abs(ctx.dest_time - ctx.source_time)
+        speed_bound = self.max_speed_mps
+        if (
+            self.config.speed_mode == "adaptive"
+            and ctx.reference_speed_mps is not None
+            and ctx.reference_speed_mps > 0
+        ):
+            # The paper's alternative bound: the preceding segment's speed
+            # times a conservative factor, never exceeding the fleet-wide
+            # maximum (a traffic jam should tighten, not loosen, physics).
+            speed_bound = min(
+                self.max_speed_mps,
+                ctx.reference_speed_mps * self.config.adaptive_speed_factor,
+            )
+        return max(floor, speed_bound * time_diff * self.config.speed_slack)
+
+    def within_speed_ellipse(self, candidate: int, ctx: GapContext) -> bool:
+        c = self.tokenizer.centroid_of_token(candidate)
+        s_pt = self.tokenizer.centroid_of_token(ctx.source)
+        d_pt = self.tokenizer.centroid_of_token(ctx.dest)
+        return c.distance_to(s_pt) + c.distance_to(d_pt) <= self.ellipse_distance_sum(ctx)
+
+    def _in_cone(self, apex: Point, toward: Point, candidate_pt: Point) -> bool:
+        d = apex.distance_to(candidate_pt)
+        if d == 0.0:
+            return False
+        return (
+            angle_difference(apex.bearing_to(candidate_pt), apex.bearing_to(toward))
+            <= self.config.cone_half_angle_rad
+        )
+
+    def violates_direction(self, candidate: int, ctx: GapContext) -> bool:
+        """True when the candidate falls in a forbidden direction cone."""
+        c = self.tokenizer.centroid_of_token(candidate)
+        if ctx.prev_token is not None:
+            apex = self.tokenizer.centroid_of_token(ctx.source)
+            toward = self.tokenizer.centroid_of_token(ctx.prev_token)
+            if apex.distance_to(toward) > 0 and self._in_cone(apex, toward, c):
+                return True
+        if ctx.next_token is not None:
+            apex = self.tokenizer.centroid_of_token(ctx.dest)
+            toward = self.tokenizer.centroid_of_token(ctx.next_token)
+            if apex.distance_to(toward) > 0 and self._in_cone(apex, toward, c):
+                return True
+        return False
+
+    # -- the combined filter ---------------------------------------------------
+
+    def filter(
+        self,
+        candidates: Sequence[TokenProb],
+        ctx: GapContext,
+        segment: Sequence[int],
+        insert_pos: int,
+    ) -> list[TokenProb]:
+        """Drop candidates violating any constraint (order preserved).
+
+        ``segment`` is the segment token list built so far (S .. D) and
+        ``insert_pos`` the index after which the candidate would go.
+        """
+        vocab = self.tokenizer.vocabulary
+        gap_left = self.tokenizer.centroid_of_token(segment[insert_pos])
+        gap_right = self.tokenizer.centroid_of_token(segment[insert_pos + 1])
+        local_budget = gap_left.distance_to(gap_right) + self.config.local_detour_slack_m
+        # Travel-distance budget: the whole imputed path may not be longer
+        # than the maximum speed allows within the segment's time span —
+        # the same bound as the position ellipse, applied to arc length.
+        # Without it, the search can zig-zag arbitrarily inside the
+        # ellipse and "close" a gap with a physically impossible path.
+        length_budget = self.ellipse_distance_sum(ctx)
+        current_length = self._segment_length(segment)
+        out: list[TokenProb] = []
+        for token, prob in candidates:
+            if vocab.is_special(token):
+                continue
+            if not self.within_speed_ellipse(token, ctx):
+                continue
+            c = self.tokenizer.centroid_of_token(token)
+            if c.distance_to(gap_left) + c.distance_to(gap_right) > local_budget:
+                continue
+            new_length = (
+                current_length
+                - gap_left.distance_to(gap_right)
+                + c.distance_to(gap_left)
+                + c.distance_to(gap_right)
+            )
+            if new_length > length_budget:
+                continue
+            if self.violates_direction(token, ctx):
+                continue
+            if creates_cycle(segment, insert_pos, token, self.config.cycle_window):
+                continue
+            out.append((token, prob))
+        return out
+
+    def _segment_length(self, segment: Sequence[int]) -> float:
+        """Arc length of a segment's token-centroid polyline."""
+        centroids = [self.tokenizer.centroid_of_token(t) for t in segment]
+        return sum(a.distance_to(b) for a, b in zip(centroids, centroids[1:]))
+
+
+class PassthroughConstraints(SpatialConstraints):
+    """Ablation variant (Fig. 12-VI "No Const."): accept any prediction.
+
+    Only special tokens and immediate self-repetition are still rejected —
+    without the latter, iterative calling would loop forever on its own
+    output, which the paper's "trivial cycle" rejection exists to prevent
+    even in the ablated system.
+    """
+
+    def filter(
+        self,
+        candidates: Sequence[TokenProb],
+        ctx: GapContext,
+        segment: Sequence[int],
+        insert_pos: int,
+    ) -> list[TokenProb]:
+        vocab = self.tokenizer.vocabulary
+        out: list[TokenProb] = []
+        for token, prob in candidates:
+            if vocab.is_special(token):
+                continue
+            if creates_cycle(segment, insert_pos, token, 1):
+                continue
+            out.append((token, prob))
+        return out

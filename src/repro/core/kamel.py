@@ -1,0 +1,360 @@
+"""The assembled KAMEL system (paper Figure 1).
+
+:class:`Kamel` wires the five modules together behind a two-method API:
+
+* :meth:`Kamel.fit` / :meth:`Kamel.add_training` — the training input path:
+  tokenize, store, maintain the pyramid model repository, and build the
+  detokenization cluster metadata;
+* :meth:`Kamel.impute` (plus batch and streaming variants) — the sparse
+  input path: tokenize, pick the right model from the repository, run
+  multipoint imputation under spatial constraints, and detokenize.
+
+A segment whose imputation fails (no model covers it, an endpoint cell was
+never seen in training, the constraints starve the search, or the model
+call budget runs out) is filled with a straight line and flagged — the
+paper's failure-rate definition.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Iterator, Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import KamelConfig
+from repro.core.constraints import GapContext, PassthroughConstraints, SpatialConstraints
+from repro.core.detokenization import Detokenizer
+from repro.core.imputation import SegmentImputation, make_segment_imputer
+from repro.core.partitioning import ModelRepository, StoredModel
+from repro.core.result import ImputationResult, Imputer, SegmentOutcome
+from repro.core.store import TrajectoryStore
+from repro.core.tokenization import Tokenizer, make_grid
+from repro.errors import EmptyInputError, NotFittedError
+from repro.geo import BoundingBox, Point, Trajectory, interpolate
+from repro.mlm.base import MaskedModel
+from repro.mlm.bert import BertMaskedLM, TrainingConfig
+from repro.mlm.counting import CountingMaskedLM
+
+
+def infer_max_speed(trajectories: Iterable[Trajectory], percentile: float = 95.0) -> float:
+    """The paper's "fixed speed inferred from training trajectory data".
+
+    Uses a high percentile of observed point-to-point speeds, robust to
+    GPS-noise spikes. Falls back to an urban 14 m/s when no timed segment
+    exists.
+    """
+    speeds: list[float] = []
+    for traj in trajectories:
+        for a, b in traj.segments():
+            if a.t is None or b.t is None or b.t <= a.t:
+                continue
+            speeds.append(a.distance_to(b) / (b.t - a.t))
+    if not speeds:
+        return 14.0
+    return float(np.percentile(speeds, percentile))
+
+
+class Kamel(Imputer):
+    """The scalable BERT-based trajectory imputation system."""
+
+    def __init__(self, config: Optional[KamelConfig] = None) -> None:
+        self.config = config or KamelConfig()
+        self.tokenizer: Optional[Tokenizer] = None
+        self.store: Optional[TrajectoryStore] = None
+        self.repository: Optional[ModelRepository] = None
+        self.detokenizer: Optional[Detokenizer] = None
+        self.constraints: Optional[SpatialConstraints] = None
+        self.max_speed_mps: Optional[float] = None
+        self._global_model: Optional[MaskedModel] = None
+        self._training_trajectories: list[Trajectory] = []
+        self._gap_threshold_m: Optional[float] = None
+        self._fitted = False
+
+    # -- training path ------------------------------------------------------
+
+    def _model_factory(self) -> MaskedModel:
+        cfg = self.config
+        if cfg.model_backend == "bert":
+            return BertMaskedLM(
+                config=None,  # sized at fit() time from the vocabulary
+                training=TrainingConfig(epochs=cfg.bert_epochs, lr=cfg.bert_lr, seed=cfg.seed),
+            )
+        return CountingMaskedLM()
+
+    def _build_components(self, cell_edge_m: float) -> None:
+        cfg = self.config
+        grid = make_grid(cfg.grid_type, cell_edge_m)
+        self.tokenizer = Tokenizer(grid)
+        self.store = TrajectoryStore(self.tokenizer)
+        self.repository = ModelRepository(
+            self.tokenizer, self.store, cfg, self._model_factory
+        )
+        self.detokenizer = Detokenizer(self.tokenizer, cfg)
+
+    def fit(self, trajectories: Sequence[Trajectory]) -> "Kamel":
+        """Train the system from scratch on ``trajectories``."""
+        if not trajectories:
+            raise EmptyInputError("Kamel.fit needs at least one training trajectory")
+        cfg = self.config
+        cell_edge = cfg.cell_edge_m
+        if cfg.auto_tune_cell_size:
+            from repro.core.tuning import tune_cell_size  # avoid import cycle
+
+            cell_edge = tune_cell_size(list(trajectories), cfg)
+        self._build_components(cell_edge)
+        self._training_trajectories = []
+        self._fitted = True
+        self.add_training(trajectories)
+        return self
+
+    def add_training(self, trajectories: Sequence[Trajectory]) -> None:
+        """Ingest additional training data (the paper's enrichment path)."""
+        if not self._fitted:
+            raise NotFittedError("call fit() before add_training()")
+        assert self.tokenizer and self.repository and self.detokenizer
+        trajectories = [t for t in trajectories if len(t) >= 2]
+        if not trajectories:
+            return
+        self._training_trajectories.extend(trajectories)
+
+        cfg = self.config
+        inferred = infer_max_speed(self._training_trajectories)
+        self.max_speed_mps = cfg.max_speed_mps or inferred
+        constraints_cls = SpatialConstraints if cfg.use_constraints else PassthroughConstraints
+        self.constraints = constraints_cls(self.tokenizer, cfg, self.max_speed_mps)
+
+        sequences = self.tokenizer.tokenize_many(trajectories, grow=True)
+        self._update_gap_threshold(sequences)
+        if cfg.use_partitioning:
+            self.repository.add_training(sequences)
+        else:
+            # Ablation: one model over everything (Fig. 12-VI "No Part.").
+            assert self.store is not None
+            self.store.add_many(sequences)
+            model = self._model_factory()
+            model.fit(
+                [s.tokens for s in self.store], len(self.tokenizer.vocabulary)
+            )
+            self._global_model = model
+        # Detokenization metadata is rebuilt over all data: DBSCAN results
+        # are not incrementally mergeable and training is offline anyway.
+        self.detokenizer.fit(self._training_trajectories)
+
+    def _update_gap_threshold(self, sequences) -> None:
+        """Floor the gap test at the training data's own token spacing.
+
+        A counting or BERT model trained on 15 s samples has simply never
+        seen transitions between adjacent cells the vehicle skipped over;
+        demanding finer spacing than the training granularity makes every
+        gap unclosable. The paper's metrics score the imputed *polyline*,
+        so coarser-but-correct token spacing loses no accuracy.
+        """
+        steps: list[float] = []
+        vocab = self.tokenizer.vocabulary if self.tokenizer else None
+        for seq in sequences:
+            for a, b in zip(seq.tokens, seq.tokens[1:]):
+                if vocab.is_special(a) or vocab.is_special(b):
+                    continue
+                steps.append(self.tokenizer.token_distance_m(a, b))
+        if steps:
+            typical = float(np.median(steps))
+            self._gap_threshold_m = max(self._gap_threshold_m or 0.0, 1.3 * typical)
+
+    @property
+    def gap_threshold_m(self) -> Optional[float]:
+        """Training-data-derived floor of the imputation gap test."""
+        return self._gap_threshold_m
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._fitted
+
+    @property
+    def name(self) -> str:
+        return "KAMEL"
+
+    # -- model selection -------------------------------------------------------
+
+    def _model_for_box(self, box: BoundingBox) -> Optional[MaskedModel]:
+        if not self.config.use_partitioning:
+            return self._global_model
+        assert self.repository is not None
+        stored: Optional[StoredModel] = self.repository.retrieve(box)
+        return stored.model if stored is not None else None
+
+    # -- imputation path ----------------------------------------------------------
+
+    def impute(self, trajectory: Trajectory) -> ImputationResult:
+        """Densify one sparse trajectory (offline or per-stream-item)."""
+        if not self._fitted:
+            raise NotFittedError("call fit() before impute()")
+        assert self.tokenizer and self.detokenizer and self.constraints
+        cfg = self.config
+        points = trajectory.points
+        if len(points) < 2:
+            return ImputationResult(trajectory, ())
+
+        # Per Section 4.1: pick the model for the whole trajectory first;
+        # segments it does not cover fall back to per-segment retrieval
+        # (the paper's "split into sub-trajectories").
+        trajectory_model = self._model_for_box(trajectory.bbox())
+
+        out_points: list[Point] = [points[0]]
+        outcomes: list[SegmentOutcome] = []
+        reference_speed: Optional[float] = None
+        for i in range(len(points) - 1):
+            a, b = points[i], points[i + 1]
+            if a.distance_to(b) <= cfg.maxgap_m:
+                out_points.append(b)
+                reference_speed = _segment_speed([a, b])
+                continue
+            prev_pt = points[i - 1] if i > 0 else None
+            next_pt = points[i + 2] if i + 2 < len(points) else None
+            interior, outcome = self._impute_segment(
+                i, a, b, prev_pt, next_pt, trajectory_model, reference_speed
+            )
+            out_points.extend(interior)
+            out_points.append(b)
+            outcomes.append(outcome)
+            if not outcome.failed:
+                reference_speed = _segment_speed([a, *interior, b])
+        return ImputationResult(
+            trajectory.with_points(out_points), tuple(outcomes)
+        )
+
+    def _impute_segment(
+        self,
+        index: int,
+        a: Point,
+        b: Point,
+        prev_pt: Optional[Point],
+        next_pt: Optional[Point],
+        trajectory_model: Optional[MaskedModel],
+        reference_speed: Optional[float] = None,
+    ) -> tuple[list[Point], SegmentOutcome]:
+        assert self.tokenizer and self.detokenizer and self.constraints
+        cfg = self.config
+        vocab = self.tokenizer.vocabulary
+
+        def fail(calls: int = 0) -> tuple[list[Point], SegmentOutcome]:
+            interior = _linear_interior(a, b, cfg.maxgap_m)
+            return interior, SegmentOutcome(index, True, calls, len(interior))
+
+        source = self.tokenizer.token_for_point(a)
+        dest = self.tokenizer.token_for_point(b)
+        if vocab.is_special(source) or vocab.is_special(dest):
+            return fail()
+
+        model = trajectory_model
+        if model is None:
+            model = self._model_for_box(BoundingBox.from_points([a, b]))
+        if model is None or not model.is_fitted:
+            return fail()
+
+        prev_token = None
+        if prev_pt is not None:
+            t = self.tokenizer.token_for_point(prev_pt)
+            if not vocab.is_special(t) and t != source:
+                prev_token = t
+        next_token = None
+        if next_pt is not None:
+            t = self.tokenizer.token_for_point(next_pt)
+            if not vocab.is_special(t) and t != dest:
+                next_token = t
+
+        ctx = GapContext(
+            source=source,
+            dest=dest,
+            source_time=a.t,
+            dest_time=b.t,
+            prev_token=prev_token,
+            next_token=next_token,
+            reference_speed_mps=reference_speed,
+        )
+        imputer = make_segment_imputer(
+            model, self.tokenizer, self.constraints, cfg, self._gap_threshold_m
+        )
+        result: SegmentImputation = imputer.impute_segment(ctx)
+        if result.failed:
+            return fail(result.model_calls)
+
+        interior_points = self.detokenizer.detokenize_interior(
+            result.interior or (), a, b
+        )
+        interior_points = _assign_times(a, b, interior_points)
+        return interior_points, SegmentOutcome(
+            index,
+            False,
+            result.model_calls,
+            len(interior_points),
+            confidence=result.confidence,
+        )
+
+    # -- batch and streaming fronts ------------------------------------------------
+
+    def impute_batch(self, trajectories: Sequence[Trajectory]) -> list[ImputationResult]:
+        """Offline bulk mode."""
+        return [self.impute(t) for t in trajectories]
+
+    def impute_stream(
+        self, trajectories: Iterable[Trajectory]
+    ) -> Iterator[ImputationResult]:
+        """Online mode: lazily impute an incoming trajectory stream."""
+        for trajectory in trajectories:
+            yield self.impute(trajectory)
+
+    # -- persistence -----------------------------------------------------------
+
+    def save(self, directory) -> None:
+        """Persist the trained system to ``directory`` (see repro.io)."""
+        from repro.io import save_kamel  # deferred: io imports this module
+
+        save_kamel(self, directory)
+
+    @classmethod
+    def load(cls, directory) -> "Kamel":
+        """Restore a system persisted with :meth:`save`."""
+        from repro.io import load_kamel
+
+        return load_kamel(directory)
+
+    def __repr__(self) -> str:
+        state = "fitted" if self._fitted else "unfitted"
+        return f"Kamel({state}, backend={self.config.model_backend!r})"
+
+
+def _segment_speed(points: list[Point]) -> Optional[float]:
+    """Average travel speed over a point chain (None without timestamps)."""
+    if len(points) < 2 or points[0].t is None or points[-1].t is None:
+        return None
+    duration = points[-1].t - points[0].t
+    if duration <= 0:
+        return None
+    length = sum(u.distance_to(v) for u, v in zip(points, points[1:]))
+    return length / duration
+
+
+def _linear_interior(a: Point, b: Point, maxgap_m: float) -> list[Point]:
+    """Straight-line fallback points at <= maxgap spacing (exclusive ends)."""
+    distance = a.distance_to(b)
+    n_intervals = max(1, int(math.ceil(distance / maxgap_m)))
+    return [interpolate(a, b, k / n_intervals) for k in range(1, n_intervals)]
+
+
+def _assign_times(a: Point, b: Point, interior: list[Point]) -> list[Point]:
+    """Timestamp imputed points by cumulative arc length between a and b."""
+    if a.t is None or b.t is None or not interior:
+        return interior
+    path = [a] + interior + [b]
+    cumulative = [0.0]
+    for u, v in zip(path, path[1:]):
+        cumulative.append(cumulative[-1] + u.distance_to(v))
+    total = cumulative[-1]
+    if total == 0.0:
+        return interior
+    span = b.t - a.t
+    return [
+        p.with_time(a.t + span * (cumulative[k + 1] / total))
+        for k, p in enumerate(interior)
+    ]

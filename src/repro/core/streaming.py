@@ -1,0 +1,147 @@
+"""The online imputation service (paper Section 2, "online mode").
+
+:class:`StreamingImputationService` is the deployable wrapper around a
+trained :class:`~repro.core.kamel.Kamel`: it applies a cleaning chain to
+every incoming trajectory (outlier removal, optional smoothing, trip
+splitting), imputes each resulting trip against the precomputed models,
+and keeps running operational counters. Imputation never retrains — the
+paper's scalability argument — but fully processed trajectories can be
+fed back as training data in periodic offline batches via
+:meth:`enqueue_for_training` / :meth:`flush_training`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional
+
+from repro.core.kamel import Kamel
+from repro.core.result import ImputationResult
+from repro.errors import NotFittedError
+from repro.geo import Trajectory
+from repro.preprocess import KalmanSmoother, remove_outliers, split_by_time_gap
+
+
+@dataclass
+class StreamStats:
+    """Running counters over everything the service processed."""
+
+    trajectories_in: int = 0
+    trips_out: int = 0
+    points_in: int = 0
+    points_out: int = 0
+    segments: int = 0
+    failed_segments: int = 0
+    model_calls: int = 0
+    processing_seconds: float = 0.0
+
+    @property
+    def failure_rate(self) -> float:
+        if self.segments == 0:
+            return 0.0
+        return self.failed_segments / self.segments
+
+    @property
+    def densification_ratio(self) -> float:
+        if self.points_in == 0:
+            return 0.0
+        return self.points_out / self.points_in
+
+    @property
+    def mean_latency_ms(self) -> float:
+        if self.trips_out == 0:
+            return 0.0
+        return self.processing_seconds / self.trips_out * 1000.0
+
+
+@dataclass(frozen=True)
+class StreamingConfig:
+    """What the ingest pipeline does before imputation."""
+
+    max_speed_mps: float = 60.0
+    """Outlier gate for raw fixes."""
+    smooth: bool = False
+    """Apply Kalman smoothing to each incoming trajectory."""
+    trip_gap_s: float = 600.0
+    """Recording pauses longer than this split the input into trips."""
+    min_trip_points: int = 2
+    training_batch_size: int = 50
+    """`enqueue_for_training` triggers an offline batch at this size."""
+
+
+class StreamingImputationService:
+    """Clean -> split -> impute, one incoming trajectory at a time."""
+
+    def __init__(
+        self,
+        system: Kamel,
+        config: Optional[StreamingConfig] = None,
+    ) -> None:
+        if not system.is_fitted:
+            raise NotFittedError("the service needs a trained Kamel system")
+        self.system = system
+        self.config = config or StreamingConfig()
+        self.stats = StreamStats()
+        self._smoother = KalmanSmoother()
+        self._training_queue: list[Trajectory] = []
+
+    # -- the hot path -----------------------------------------------------
+
+    def _clean(self, trajectory: Trajectory) -> list[Trajectory]:
+        cfg = self.config
+        cleaned = remove_outliers(trajectory, cfg.max_speed_mps)
+        if cfg.smooth:
+            cleaned = self._smoother.smooth(cleaned)
+        return split_by_time_gap(cleaned, cfg.trip_gap_s, cfg.min_trip_points)
+
+    def process(self, trajectory: Trajectory) -> list[ImputationResult]:
+        """Impute one incoming trajectory (possibly several trips)."""
+        start = time.perf_counter()
+        self.stats.trajectories_in += 1
+        self.stats.points_in += len(trajectory)
+        results = []
+        for trip in self._clean(trajectory):
+            result = self.system.impute(trip)
+            results.append(result)
+            self.stats.trips_out += 1
+            self.stats.points_out += len(result.trajectory)
+            self.stats.segments += result.num_segments
+            self.stats.failed_segments += result.num_failed
+            self.stats.model_calls += result.total_model_calls
+        self.stats.processing_seconds += time.perf_counter() - start
+        return results
+
+    def process_stream(
+        self, trajectories: Iterable[Trajectory]
+    ) -> Iterator[ImputationResult]:
+        """Lazily process an endless feed."""
+        for trajectory in trajectories:
+            yield from self.process(trajectory)
+
+    # -- offline enrichment ------------------------------------------------
+
+    def enqueue_for_training(self, trajectory: Trajectory) -> bool:
+        """Queue a (dense) trajectory for the next offline training batch.
+
+        Returns True when the queue reached the batch size and was flushed
+        into :meth:`repro.core.kamel.Kamel.add_training` — the paper's
+        "scheduled as a background process for a batch of new
+        trajectories".
+        """
+        self._training_queue.append(trajectory)
+        if len(self._training_queue) >= self.config.training_batch_size:
+            self.flush_training()
+            return True
+        return False
+
+    def flush_training(self) -> int:
+        """Run the queued offline batch now; returns its size."""
+        batch, self._training_queue = self._training_queue, []
+        if batch:
+            self.system.add_training(batch)
+        return len(batch)
+
+    @property
+    def pending_training(self) -> int:
+        return len(self._training_queue)

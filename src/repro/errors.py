@@ -1,0 +1,35 @@
+"""Exception hierarchy for the KAMEL reproduction library.
+
+All library-raised exceptions derive from :class:`KamelError` so callers can
+catch everything coming out of this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class KamelError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ConfigError(KamelError):
+    """An invalid configuration value was supplied."""
+
+
+class NotFittedError(KamelError):
+    """A component that requires training was used before being trained."""
+
+
+class EmptyInputError(KamelError):
+    """An operation that needs data received an empty input."""
+
+
+class VocabularyError(KamelError):
+    """A token was used that the vocabulary does not know about."""
+
+
+class ModelRepositoryError(KamelError):
+    """The pyramid model repository was asked for something inconsistent."""
+
+
+class ImputationError(KamelError):
+    """A gap could not be imputed and no fallback was allowed."""

@@ -1,0 +1,133 @@
+"""The paper's performance metrics (Section 8, "Performance metrics").
+
+* **Recall** — discretize the *ground truth* trajectory into points every
+  ``maxgap`` meters; the recall is the fraction of those points within the
+  accuracy threshold delta of the *imputed* trajectory (as a polyline).
+* **Precision** — discretize the *imputed* trajectory the same way; the
+  precision is the fraction of those points within delta of the ground
+  truth polyline.
+* **Failure rate** — the fraction of segments imputed by a straight line
+  (tracked by the imputers themselves via
+  :class:`repro.core.result.ImputationResult`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.result import ImputationResult
+from repro.geo import Point, Trajectory
+
+
+def point_to_segment_distance(p: Point, a: Point, b: Point) -> float:
+    """Distance from ``p`` to the segment ``ab``."""
+    dx, dy = b.x - a.x, b.y - a.y
+    seg2 = dx * dx + dy * dy
+    if seg2 == 0.0:
+        return p.distance_to(a)
+    t = max(0.0, min(1.0, ((p.x - a.x) * dx + (p.y - a.y) * dy) / seg2))
+    return p.distance_to(Point(a.x + t * dx, a.y + t * dy))
+
+
+def point_to_polyline_distance(p: Point, polyline: Sequence[Point]) -> float:
+    """Distance from ``p`` to the nearest point of a polyline."""
+    if not polyline:
+        return float("inf")
+    if len(polyline) == 1:
+        return p.distance_to(polyline[0])
+    best = float("inf")
+    for a, b in zip(polyline, polyline[1:]):
+        # Cheap reject: both endpoints further than best + segment length.
+        d = point_to_segment_distance(p, a, b)
+        if d < best:
+            best = d
+    return best
+
+
+def _coverage(
+    probes: Sequence[Point], reference: Sequence[Point], delta_m: float
+) -> float:
+    """Fraction of ``probes`` within ``delta_m`` of the reference polyline."""
+    if not probes:
+        return 0.0
+    hits = sum(
+        1 for p in probes if point_to_polyline_distance(p, reference) <= delta_m
+    )
+    return hits / len(probes)
+
+
+def recall(
+    ground_truth: Trajectory,
+    imputed: Trajectory,
+    maxgap_m: float,
+    delta_m: float,
+) -> float:
+    """Paper recall: ground-truth probe points recovered by the imputation."""
+    probes = ground_truth.discretize(maxgap_m)
+    return _coverage(probes, list(imputed.points), delta_m)
+
+
+def precision(
+    ground_truth: Trajectory,
+    imputed: Trajectory,
+    maxgap_m: float,
+    delta_m: float,
+) -> float:
+    """Paper precision: imputed probe points that lie on the ground truth."""
+    probes = imputed.discretize(maxgap_m)
+    return _coverage(probes, list(ground_truth.points), delta_m)
+
+
+def failure_rate(results: Sequence[ImputationResult]) -> float:
+    """Fraction of all segments (across results) imputed by a straight line."""
+    total = sum(r.num_segments for r in results)
+    if total == 0:
+        return 0.0
+    failed = sum(r.num_failed for r in results)
+    return failed / total
+
+
+@dataclass(frozen=True)
+class EvaluationScores:
+    """Aggregate metrics over a test set."""
+
+    recall: float
+    precision: float
+    failure_rate: float
+    num_trajectories: int
+    num_segments: int
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "recall": self.recall,
+            "precision": self.precision,
+            "failure_rate": self.failure_rate,
+        }
+
+
+def evaluate_imputation(
+    ground_truths: Sequence[Trajectory],
+    results: Sequence[ImputationResult],
+    maxgap_m: float,
+    delta_m: float,
+) -> EvaluationScores:
+    """Mean recall/precision over trajectories plus the global failure rate."""
+    if len(ground_truths) != len(results):
+        raise ValueError(
+            f"{len(ground_truths)} ground truths vs {len(results)} results"
+        )
+    if not results:
+        return EvaluationScores(0.0, 0.0, 0.0, 0, 0)
+    recalls = []
+    precisions = []
+    for truth, result in zip(ground_truths, results):
+        recalls.append(recall(truth, result.trajectory, maxgap_m, delta_m))
+        precisions.append(precision(truth, result.trajectory, maxgap_m, delta_m))
+    return EvaluationScores(
+        recall=sum(recalls) / len(recalls),
+        precision=sum(precisions) / len(precisions),
+        failure_rate=failure_rate(results),
+        num_trajectories=len(results),
+        num_segments=sum(r.num_segments for r in results),
+    )

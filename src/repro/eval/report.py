@@ -1,0 +1,123 @@
+"""Plain-text rendering of experiment tables and figure series."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """A fixed-width ASCII table."""
+    cells = [[_fmt(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for r, row in enumerate(cells):
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        if r == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def render_series(
+    title: str,
+    x_label: str,
+    xs: Sequence[object],
+    series: Mapping[str, Sequence[float]],
+) -> str:
+    """A figure-like table: one row per x value, one column per method.
+
+    This is the textual stand-in for the paper's plots: same x axis, same
+    series, so the *shape* (who wins, where curves cross) is readable.
+    """
+    headers = [x_label] + list(series.keys())
+    rows = []
+    for i, x in enumerate(xs):
+        rows.append([x] + [series[name][i] for name in series])
+    return f"{title}\n{render_table(headers, rows)}"
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def render_markdown_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """A GitHub-flavoured markdown table."""
+    lines = ["| " + " | ".join(_fmt(h) for h in headers) + " |"]
+    lines.append("|" + "|".join("---" for _ in headers) + "|")
+    for row in rows:
+        lines.append("| " + " | ".join(_fmt(c) for c in row) + " |")
+    return "\n".join(lines)
+
+
+def figure_to_markdown(name: str, result: dict) -> str:
+    """Render one figure-function output dict as markdown sections.
+
+    Understands the shapes produced by :mod:`repro.eval.figures`:
+    sweep series keyed by method/variant, and flat per-label score dicts.
+    """
+    sections: list[str] = [f"### {name}"]
+
+    def series_block(title: str, xs, series: dict) -> str:
+        headers = ["x"] + list(series.keys())
+        metrics = sorted(
+            {metric for s in series.values() for metric in s}
+        ) if series and isinstance(next(iter(series.values())), dict) else []
+        out = [f"**{title}**", ""]
+        for metric in metrics:
+            rows = [
+                [x] + [series[m].get(metric, [None] * len(xs))[i] for m in series]
+                for i, x in enumerate(xs)
+            ]
+            out.append(f"*{metric}*")
+            out.append(render_markdown_table(headers, rows))
+            out.append("")
+        return "\n".join(out)
+
+    if "datasets" in result:
+        xs = result.get("sparseness_m") or result.get("deltas_m") or []
+        for dataset, series in result["datasets"].items():
+            if xs and isinstance(next(iter(series.values()), None), dict) and any(
+                isinstance(v, list) for s in series.values() for v in s.values()
+            ):
+                sections.append(series_block(dataset, xs, series))
+            else:
+                headers = ["method"] + sorted(
+                    {k for s in series.values() for k in s}
+                )
+                rows = [
+                    [m] + [series[m].get(h) for h in headers[1:]] for m in series
+                ]
+                sections.append(f"**{dataset}**\n\n" + render_markdown_table(headers, rows))
+    elif "variants" in result:
+        xs = result.get("sparseness_m", [])
+        sections.append(series_block("variants", xs, result["variants"]))
+    elif "classes" in result:
+        xs = result.get("sparseness_m", [])
+        for road_class, series in result["classes"].items():
+            sections.append(series_block(road_class, xs, series))
+    elif "series" in result and isinstance(result["series"], dict):
+        first = next(iter(result["series"].values()), None)
+        if isinstance(first, dict):
+            headers = ["label"] + sorted({k for s in result["series"].values() for k in s})
+            rows = [
+                [label] + [scores.get(h) for h in headers[1:]]
+                for label, scores in result["series"].items()
+            ]
+            sections.append(render_markdown_table(headers, rows))
+        else:
+            xs = (
+                result.get("cell_sizes_m")
+                or result.get("fractions")
+                or result.get("sampling_s")
+                or []
+            )
+            headers = ["x"] + list(result["series"].keys())
+            rows = [
+                [x] + [result["series"][k][i] for k in result["series"]]
+                for i, x in enumerate(xs)
+            ]
+            sections.append(render_markdown_table(headers, rows))
+    else:
+        sections.append("```\n" + repr(result) + "\n```")
+    return "\n\n".join(sections) + "\n"

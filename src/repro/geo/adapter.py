@@ -1,0 +1,51 @@
+"""Convenience adapters for feeding real-world lat/lon data into KAMEL.
+
+The whole library works in a local planar frame in meters; these helpers
+project WGS84 GPS records into that frame (and imputed results back), so a
+user with a CSV of ``(lat, lon, timestamp)`` rows can use the system
+without touching the projection machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.errors import EmptyInputError
+from repro.geo.point import LocalProjection
+from repro.geo.trajectory import Trajectory
+
+LatLonRecord = tuple[float, float, Optional[float]]
+"""(latitude, longitude, timestamp-or-None)."""
+
+
+def projection_for(records: Iterable[LatLonRecord]) -> LocalProjection:
+    """A local projection centered on the records' mean coordinate."""
+    lats, lons = [], []
+    for lat, lon, _t in records:
+        lats.append(lat)
+        lons.append(lon)
+    if not lats:
+        raise EmptyInputError("cannot build a projection from zero records")
+    return LocalProjection(sum(lats) / len(lats), sum(lons) / len(lons))
+
+
+def trajectory_from_latlon(
+    traj_id: str,
+    records: Sequence[LatLonRecord],
+    projection: LocalProjection,
+) -> Trajectory:
+    """Project WGS84 records into a planar trajectory."""
+    return Trajectory(
+        traj_id, [projection.to_local(lat, lon, t) for lat, lon, t in records]
+    )
+
+
+def trajectory_to_latlon(
+    trajectory: Trajectory, projection: LocalProjection
+) -> list[LatLonRecord]:
+    """Inverse-project a (possibly imputed) trajectory back to WGS84."""
+    out: list[LatLonRecord] = []
+    for p in trajectory.points:
+        lat, lon = projection.to_latlon(p)
+        out.append((lat, lon, p.t))
+    return out

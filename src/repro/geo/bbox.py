@@ -1,0 +1,95 @@
+"""Axis-aligned bounding boxes in the local planar frame."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.errors import EmptyInputError
+from repro.geo.point import Point
+
+
+@dataclass(frozen=True, slots=True)
+class BoundingBox:
+    """An axis-aligned rectangle ``[min_x, max_x] x [min_y, max_y]``."""
+
+    min_x: float
+    min_y: float
+    max_x: float
+    max_y: float
+
+    def __post_init__(self) -> None:
+        if self.min_x > self.max_x or self.min_y > self.max_y:
+            raise ValueError(f"degenerate bounding box: {self!r}")
+
+    @classmethod
+    def from_points(cls, points: Iterable[Point]) -> "BoundingBox":
+        """The minimum bounding rectangle of ``points``."""
+        xs: list[float] = []
+        ys: list[float] = []
+        for p in points:
+            xs.append(p.x)
+            ys.append(p.y)
+        if not xs:
+            raise EmptyInputError("cannot build a bounding box from zero points")
+        return cls(min(xs), min(ys), max(xs), max(ys))
+
+    @classmethod
+    def union_all(cls, boxes: Sequence["BoundingBox"]) -> "BoundingBox":
+        """The smallest box enclosing every box in ``boxes``."""
+        if not boxes:
+            raise EmptyInputError("cannot union zero bounding boxes")
+        return cls(
+            min(b.min_x for b in boxes),
+            min(b.min_y for b in boxes),
+            max(b.max_x for b in boxes),
+            max(b.max_y for b in boxes),
+        )
+
+    @property
+    def width(self) -> float:
+        return self.max_x - self.min_x
+
+    @property
+    def height(self) -> float:
+        return self.max_y - self.min_y
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def center(self) -> Point:
+        return Point((self.min_x + self.max_x) / 2.0, (self.min_y + self.max_y) / 2.0)
+
+    def contains_point(self, p: Point) -> bool:
+        """Whether ``p`` lies inside this box (boundary inclusive)."""
+        return self.min_x <= p.x <= self.max_x and self.min_y <= p.y <= self.max_y
+
+    def contains_box(self, other: "BoundingBox") -> bool:
+        """Whether ``other`` is fully enclosed (boundary inclusive)."""
+        return (
+            self.min_x <= other.min_x
+            and self.min_y <= other.min_y
+            and self.max_x >= other.max_x
+            and self.max_y >= other.max_y
+        )
+
+    def intersects(self, other: "BoundingBox") -> bool:
+        """Whether the two boxes overlap (touching edges count)."""
+        return not (
+            other.min_x > self.max_x
+            or other.max_x < self.min_x
+            or other.min_y > self.max_y
+            or other.max_y < self.min_y
+        )
+
+    def expand(self, margin: float) -> "BoundingBox":
+        """Return a copy grown by ``margin`` meters on every side."""
+        return BoundingBox(
+            self.min_x - margin, self.min_y - margin, self.max_x + margin, self.max_y + margin
+        )
+
+    def union(self, other: "BoundingBox") -> "BoundingBox":
+        """The smallest box enclosing both boxes."""
+        return BoundingBox.union_all([self, other])

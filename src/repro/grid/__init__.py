@@ -1,0 +1,20 @@
+"""Spatial grids used by KAMEL's tokenization module.
+
+Two interchangeable tessellations of the local planar frame:
+
+* :class:`HexGrid` — a flat hexagonal grid, the from-scratch substitute for
+  Uber's H3 index that the paper uses (Section 3.1). Every cell has six
+  neighbours with identical centroid distance and shared-border length.
+* :class:`SquareGrid` — a square grid, the substitute for Google S2 squares,
+  used by the grid-type experiment (Fig. 12-III).
+
+Cells are identified by small integer tuples (axial ``(q, r)`` coordinates
+for hexagons, ``(col, row)`` for squares), so they are cheap to hash and to
+intern into a :class:`repro.mlm.vocab.Vocabulary`.
+"""
+
+from repro.grid.base import Cell, Grid
+from repro.grid.hexgrid import HexGrid
+from repro.grid.squaregrid import SquareGrid
+
+__all__ = ["Cell", "Grid", "HexGrid", "SquareGrid"]

@@ -1,0 +1,127 @@
+"""The grid interface shared by hexagonal and square tessellations."""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterator
+
+from repro.geo import BoundingBox, Point
+
+Cell = tuple[int, int]
+"""A grid cell identifier: integer lattice coordinates."""
+
+
+class Grid(abc.ABC):
+    """A non-overlapping tessellation of the plane into cells.
+
+    Concrete grids must map points to cells and cells back to centroid
+    points, and enumerate neighbours. The ellipse/bbox enumeration helpers
+    are implemented generically on top of those primitives.
+    """
+
+    def __init__(self, edge_length_m: float) -> None:
+        if edge_length_m <= 0:
+            raise ValueError(f"edge_length_m must be positive, got {edge_length_m!r}")
+        self.edge_length_m = float(edge_length_m)
+
+    # -- primitives ------------------------------------------------------
+
+    @abc.abstractmethod
+    def cell_of(self, point: Point) -> Cell:
+        """The cell containing ``point``."""
+
+    @abc.abstractmethod
+    def centroid(self, cell: Cell) -> Point:
+        """The centroid of ``cell`` (untimed)."""
+
+    @abc.abstractmethod
+    def neighbors(self, cell: Cell) -> list[Cell]:
+        """Cells sharing an edge with ``cell``."""
+
+    @abc.abstractmethod
+    def cell_steps(self, a: Cell, b: Cell) -> int:
+        """Minimum number of edge-crossing steps between two cells."""
+
+    @property
+    @abc.abstractmethod
+    def cell_area_m2(self) -> float:
+        """Area of one cell in square meters."""
+
+    @property
+    @abc.abstractmethod
+    def centroid_spacing_m(self) -> float:
+        """Distance between the centroids of two edge-sharing cells."""
+
+    # -- derived operations ----------------------------------------------
+
+    def cell_distance_m(self, a: Cell, b: Cell) -> float:
+        """Euclidean distance between the centroids of two cells."""
+        return self.centroid(a).distance_to(self.centroid(b))
+
+    def ring(self, cell: Cell, radius: int) -> set[Cell]:
+        """All cells within ``radius`` steps of ``cell`` (incl. itself)."""
+        if radius < 0:
+            raise ValueError(f"radius must be non-negative, got {radius!r}")
+        seen = {cell}
+        frontier = [cell]
+        for _ in range(radius):
+            nxt: list[Cell] = []
+            for c in frontier:
+                for n in self.neighbors(c):
+                    if n not in seen:
+                        seen.add(n)
+                        nxt.append(n)
+            frontier = nxt
+        return seen
+
+    @abc.abstractmethod
+    def cells_in_bbox(self, box: BoundingBox) -> Iterator[Cell]:
+        """Every cell whose centroid lies inside ``box``."""
+
+    def cells_in_ellipse(self, f1: Point, f2: Point, max_distance_sum: float) -> set[Cell]:
+        """Cells whose centroid lies in the ellipse with foci ``f1``/``f2``.
+
+        The ellipse is the speed-constraint area of Section 5.1: the locus
+        of points whose summed distance to the two foci is at most
+        ``max_distance_sum``.
+        """
+        if max_distance_sum < f1.distance_to(f2):
+            return set()
+        # Bounding box of the ellipse: semi-major a along the focal axis,
+        # semi-minor b; an axis-aligned box of half-extents a covers it.
+        semi_major = max_distance_sum / 2.0
+        cx, cy = (f1.x + f2.x) / 2.0, (f1.y + f2.y) / 2.0
+        box = BoundingBox(cx - semi_major, cy - semi_major, cx + semi_major, cy + semi_major)
+        out: set[Cell] = set()
+        for cell in self.cells_in_bbox(box):
+            c = self.centroid(cell)
+            if c.distance_to(f1) + c.distance_to(f2) <= max_distance_sum:
+                out.add(cell)
+        return out
+
+    def cells_in_cone(
+        self, apex: Point, direction: float, half_angle: float, max_range: float
+    ) -> set[Cell]:
+        """Cells whose centroid falls in an angular cone from ``apex``.
+
+        Used by the direction constraint of Section 5.1: the cone opens
+        around ``direction`` (radians) with the given ``half_angle`` and
+        reaches ``max_range`` meters.
+        """
+        from repro.geo.point import angle_difference  # local import: tiny helper
+
+        box = BoundingBox(
+            apex.x - max_range, apex.y - max_range, apex.x + max_range, apex.y + max_range
+        )
+        out: set[Cell] = set()
+        for cell in self.cells_in_bbox(box):
+            c = self.centroid(cell)
+            d = apex.distance_to(c)
+            if d == 0.0 or d > max_range:
+                continue
+            if angle_difference(apex.bearing_to(c), direction) <= half_angle:
+                out.add(cell)
+        return out
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(edge_length_m={self.edge_length_m})"

@@ -1,0 +1,20 @@
+"""Persistence: save/load a trained KAMEL system to a directory.
+
+The paper stores its model repository in "a disk-based hierarchical
+pyramid data structure" and serves imputation from the precomputed models.
+This package provides that durability layer: :func:`save_kamel` writes a
+trained system (configuration, vocabulary, every pyramid model, the
+trajectory store, and the detokenization cluster metadata) to a directory,
+and :func:`load_kamel` restores it ready to impute — without retraining.
+"""
+
+from repro.io.serialize import load_kamel, save_kamel
+from repro.io.csvio import imputed_point_flags, read_latlon_csv, write_latlon_csv
+
+__all__ = [
+    "imputed_point_flags",
+    "load_kamel",
+    "read_latlon_csv",
+    "save_kamel",
+    "write_latlon_csv",
+]

@@ -1,0 +1,57 @@
+"""The masked-model interface shared by the BERT and counting backends."""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+TokenProb = tuple[int, float]
+"""A candidate token id with its predicted probability."""
+
+
+class MaskedModel(abc.ABC):
+    """Predicts the token at a masked position of a token sequence.
+
+    This is the "BERT black box" of the paper's architecture diagram: the
+    partitioning module trains one instance per spatial area, and the
+    multipoint-imputation module queries it with partially imputed
+    segments. Sequences are plain token-id lists *without* special tokens;
+    the position being predicted is identified by index (implementations
+    substitute their own mask sentinel internally).
+    """
+
+    @abc.abstractmethod
+    def fit(self, sequences: Sequence[Sequence[int]], vocab_size: int) -> "MaskedModel":
+        """Train on tokenized trajectories. Returns self."""
+
+    @abc.abstractmethod
+    def predict_masked(
+        self, tokens: Sequence[int], position: int, top_k: int = 10
+    ) -> list[TokenProb]:
+        """Candidate tokens for ``tokens[position]``.
+
+        ``tokens[position]`` is ignored (treated as masked); the rest are
+        context. Results are sorted by probability, highest first, and the
+        probabilities are a proper distribution over the vocabulary (so
+        they can be multiplied along a beam-search path).
+        """
+
+    @property
+    @abc.abstractmethod
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has been called with non-empty data."""
+
+    @property
+    @abc.abstractmethod
+    def num_training_tokens(self) -> int:
+        """Total number of tokens seen during training (model metadata)."""
+
+
+def validate_mask_query(tokens: Sequence[int], position: int) -> None:
+    """Shared argument validation for :meth:`MaskedModel.predict_masked`."""
+    if not tokens:
+        raise ValueError("cannot predict on an empty token sequence")
+    if not 0 <= position < len(tokens):
+        raise ValueError(
+            f"mask position {position} out of range for sequence of length {len(tokens)}"
+        )

@@ -1,0 +1,87 @@
+"""Model-level evaluation of masked LMs: hit-rate and pseudo-perplexity.
+
+System metrics (recall/precision) measure the whole pipeline; these
+measure just the "BERT black box": mask each held-out token in turn and
+ask the model for it. Useful for comparing backends, grid sizes, or
+training recipes without running the imputation search.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import EmptyInputError
+from repro.mlm.base import MaskedModel
+
+
+@dataclass(frozen=True)
+class MaskedEvalResult:
+    """Held-out masked-prediction quality."""
+
+    top1_accuracy: float
+    topk_accuracy: float
+    k: int
+    pseudo_perplexity: float
+    """exp(mean negative log probability assigned to the true token);
+    tokens absent from the candidate list are charged the floor prob."""
+    num_predictions: int
+
+
+def evaluate_masked_model(
+    model: MaskedModel,
+    sequences: Sequence[Sequence[int]],
+    top_k: int = 10,
+    max_predictions: Optional[int] = 2000,
+    floor_probability: float = 1e-4,
+    seed: int = 0,
+) -> MaskedEvalResult:
+    """Mask every interior token of ``sequences`` and score the model.
+
+    ``max_predictions`` caps the work by uniform subsampling of
+    (sequence, position) pairs — enough for stable estimates.
+    """
+    if top_k < 1:
+        raise ValueError(f"top_k must be >= 1, got {top_k!r}")
+    if not 0.0 < floor_probability < 1.0:
+        raise ValueError("floor_probability must be in (0, 1)")
+
+    slots = [
+        (s, i)
+        for s, seq in enumerate(sequences)
+        for i in range(1, len(seq) - 1)
+    ]
+    if not slots:
+        raise EmptyInputError("no maskable positions in the given sequences")
+    if max_predictions is not None and len(slots) > max_predictions:
+        rng = np.random.default_rng(seed)
+        picked = rng.choice(len(slots), size=max_predictions, replace=False)
+        slots = [slots[int(i)] for i in picked]
+
+    top1 = topk = 0
+    log_prob_sum = 0.0
+    for s, i in slots:
+        seq = list(sequences[s])
+        true_token = seq[i]
+        predictions = model.predict_masked(seq, i, top_k=top_k)
+        ranked = [token for token, _ in predictions]
+        if ranked and ranked[0] == true_token:
+            top1 += 1
+        if true_token in ranked:
+            topk += 1
+            probability = dict(predictions)[true_token]
+        else:
+            probability = floor_probability
+        log_prob_sum += math.log(max(probability, floor_probability))
+
+    n = len(slots)
+    return MaskedEvalResult(
+        top1_accuracy=top1 / n,
+        topk_accuracy=topk / n,
+        k=top_k,
+        pseudo_perplexity=math.exp(-log_prob_sum / n),
+        num_predictions=n,
+    )

@@ -1,0 +1,63 @@
+"""Loss functions and stateless helpers for the autograd engine."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+
+def log_softmax(logits: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax built from primitive ops."""
+    a = logits
+    shifted = a.data - a.data.max(axis=axis, keepdims=True)
+    logsumexp = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out_data = shifted - logsumexp
+    softmax = np.exp(out_data)
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate(grad - softmax * grad.sum(axis=axis, keepdims=True))
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def cross_entropy(
+    logits: Tensor, targets: np.ndarray, ignore_index: int = -100
+) -> Tensor:
+    """Mean cross-entropy over positions whose target != ``ignore_index``.
+
+    ``logits`` has shape ``(..., V)`` and ``targets`` the matching leading
+    shape. This is the masked-LM loss: un-masked positions carry the
+    ignore index and contribute nothing.
+    """
+    targets = np.asarray(targets, dtype=np.int64)
+    flat_logits = logits.reshape(-1, logits.shape[-1])
+    flat_targets = targets.reshape(-1)
+    active = flat_targets != ignore_index
+    n_active = int(active.sum())
+    if n_active == 0:
+        raise ValueError("cross_entropy: every target is the ignore index")
+
+    logp = log_softmax(flat_logits, axis=-1)
+    # Gather log-probabilities of the target classes as a primitive op so
+    # the backward pass scatters into exactly those entries.
+    a = logp
+    rows = np.nonzero(active)[0]
+    cols = flat_targets[active]
+    picked = a.data[rows, cols]
+    out_data = np.array(-picked.sum() / n_active)
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            g = np.zeros_like(a.data)
+            g[rows, cols] = -float(grad) / n_active
+            a._accumulate(g)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def mse(pred: Tensor, target: np.ndarray) -> Tensor:
+    """Mean squared error against a constant target array."""
+    diff = pred - Tensor(np.asarray(target, dtype=np.float64))
+    return (diff * diff).mean()

@@ -1,0 +1,134 @@
+"""Outlier removal, stay-point detection, and trip segmentation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from repro.geo import Point, Trajectory
+
+
+def remove_outliers(
+    trajectory: Trajectory, max_speed_mps: float = 50.0
+) -> Trajectory:
+    """Drop points only reachable at impossible speed from their predecessor.
+
+    A single corrupted fix produces two impossible jumps (into and out of
+    the bogus point); dropping the point repairs both. Points without
+    timestamps are kept (speed cannot be judged).
+    """
+    if max_speed_mps <= 0:
+        raise ValueError(f"max_speed_mps must be positive, got {max_speed_mps!r}")
+    points = trajectory.points
+    if len(points) < 2:
+        return trajectory
+    kept: list[Point] = [points[0]]
+    for p in points[1:]:
+        prev = kept[-1]
+        if p.t is None or prev.t is None or p.t <= prev.t:
+            kept.append(p)
+            continue
+        speed = prev.distance_to(p) / (p.t - prev.t)
+        if speed <= max_speed_mps:
+            kept.append(p)
+    return trajectory.with_points(kept)
+
+
+@dataclass(frozen=True)
+class StayPoint:
+    """A dwell: the vehicle stayed within a radius for a duration."""
+
+    centroid: Point
+    start_index: int
+    end_index: int
+    duration_s: float
+
+
+def detect_stay_points(
+    trajectory: Trajectory,
+    radius_m: float = 50.0,
+    min_duration_s: float = 120.0,
+) -> list[StayPoint]:
+    """Classic stay-point detection (Li et al., 2008).
+
+    Scans forward: if every point within a window stays within
+    ``radius_m`` of the window's anchor for at least ``min_duration_s``,
+    the window is a stay point.
+    """
+    if radius_m <= 0 or min_duration_s <= 0:
+        raise ValueError("radius_m and min_duration_s must be positive")
+    points = trajectory.points
+    stays: list[StayPoint] = []
+    i = 0
+    n = len(points)
+    while i < n - 1:
+        anchor = points[i]
+        j = i + 1
+        while j < n and anchor.distance_to(points[j]) <= radius_m:
+            j += 1
+        last = points[j - 1]
+        if (
+            anchor.t is not None
+            and last.t is not None
+            and last.t - anchor.t >= min_duration_s
+        ):
+            window = points[i:j]
+            cx = sum(p.x for p in window) / len(window)
+            cy = sum(p.y for p in window) / len(window)
+            mid_t = (anchor.t + last.t) / 2.0
+            stays.append(
+                StayPoint(Point(cx, cy, mid_t), i, j - 1, last.t - anchor.t)
+            )
+            i = j
+        else:
+            i += 1
+    return stays
+
+
+def remove_stay_points(
+    trajectory: Trajectory,
+    radius_m: float = 50.0,
+    min_duration_s: float = 120.0,
+) -> Trajectory:
+    """Collapse each detected stay window into its single centroid point."""
+    stays = detect_stay_points(trajectory, radius_m, min_duration_s)
+    if not stays:
+        return trajectory
+    points = trajectory.points
+    out: list[Point] = []
+    cursor = 0
+    for stay in stays:
+        out.extend(points[cursor : stay.start_index])
+        out.append(stay.centroid)
+        cursor = stay.end_index + 1
+    out.extend(points[cursor:])
+    return trajectory.with_points(out)
+
+
+def split_by_time_gap(
+    trajectory: Trajectory,
+    max_gap_s: float = 300.0,
+    min_points: int = 2,
+) -> list[Trajectory]:
+    """Cut the point stream wherever recording paused longer than the gap.
+
+    A device that goes silent for minutes has usually ended one trip and
+    begun another; feeding the concatenation to an imputer would invent a
+    road between the two parking spots.
+    """
+    if max_gap_s <= 0:
+        raise ValueError(f"max_gap_s must be positive, got {max_gap_s!r}")
+    if min_points < 1:
+        raise ValueError(f"min_points must be >= 1, got {min_points!r}")
+    points = trajectory.points
+    if len(points) < 2:
+        return [trajectory] if len(points) >= min_points else []
+    pieces: list[list[Point]] = [[points[0]]]
+    for prev, cur in trajectory.segments():
+        if prev.t is not None and cur.t is not None and cur.t - prev.t > max_gap_s:
+            pieces.append([])
+        pieces[-1].append(cur)
+    out = []
+    for k, piece in enumerate(pieces):
+        if len(piece) >= min_points:
+            suffix = f"/{k}" if len(pieces) > 1 else ""
+            out.append(Trajectory(f"{trajectory.traj_id}{suffix}", piece))
+    return out

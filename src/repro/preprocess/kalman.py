@@ -1,0 +1,152 @@
+"""Constant-velocity Kalman filtering and RTS smoothing for GPS tracks.
+
+State is ``[x, y, vx, vy]``; the motion model is constant velocity with
+white process noise on acceleration, and the measurement is the noisy
+position. The forward pass is the standard Kalman filter; the backward
+pass is the Rauch-Tung-Striebel smoother, which conditions every state on
+the *whole* trajectory — appropriate here because KAMEL's training and
+evaluation are offline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.geo import Point, Trajectory
+
+
+@dataclass(frozen=True)
+class KalmanConfig:
+    """Noise model of the filter."""
+
+    measurement_noise_m: float = 5.0
+    """GPS position noise sigma."""
+    process_noise_mps2: float = 1.5
+    """Acceleration white-noise sigma (how fast speed may change)."""
+    initial_speed_uncertainty_mps: float = 15.0
+
+    def __post_init__(self) -> None:
+        if self.measurement_noise_m <= 0:
+            raise ConfigError("measurement_noise_m must be positive")
+        if self.process_noise_mps2 <= 0:
+            raise ConfigError("process_noise_mps2 must be positive")
+        if self.initial_speed_uncertainty_mps <= 0:
+            raise ConfigError("initial_speed_uncertainty_mps must be positive")
+
+
+def _transition(dt: float) -> np.ndarray:
+    f = np.eye(4)
+    f[0, 2] = dt
+    f[1, 3] = dt
+    return f
+
+
+def _process_noise(dt: float, sigma: float) -> np.ndarray:
+    """Discrete white-noise-acceleration covariance (per axis, stacked)."""
+    q11 = dt**4 / 4.0
+    q12 = dt**3 / 2.0
+    q22 = dt**2
+    q = np.zeros((4, 4))
+    for axis in (0, 1):
+        q[axis, axis] = q11
+        q[axis, axis + 2] = q12
+        q[axis + 2, axis] = q12
+        q[axis + 2, axis + 2] = q22
+    return q * sigma**2
+
+
+_H = np.zeros((2, 4))
+_H[0, 0] = 1.0
+_H[1, 1] = 1.0
+
+
+class KalmanSmoother:
+    """Filter + RTS smoother over a timestamped trajectory."""
+
+    def __init__(self, config: Optional[KalmanConfig] = None) -> None:
+        self.config = config or KalmanConfig()
+
+    def smooth(self, trajectory: Trajectory) -> Trajectory:
+        """Return a denoised copy of ``trajectory``.
+
+        Requires timestamps; trajectories with fewer than three points or
+        without usable timestamps are returned unchanged (there is nothing
+        to smooth against).
+        """
+        points = trajectory.points
+        if len(points) < 3 or not trajectory.is_time_ordered():
+            return trajectory
+        cfg = self.config
+        r = np.eye(2) * cfg.measurement_noise_m**2
+
+        n = len(points)
+        measurements = np.array([[p.x, p.y] for p in points])
+        times = np.array([p.t for p in points], dtype=float)
+
+        # Forward filter, storing everything the RTS pass needs.
+        filtered_means = np.zeros((n, 4))
+        filtered_covs = np.zeros((n, 4, 4))
+        predicted_means = np.zeros((n, 4))
+        predicted_covs = np.zeros((n, 4, 4))
+        transitions = np.zeros((n, 4, 4))
+
+        mean = np.array([measurements[0, 0], measurements[0, 1], 0.0, 0.0])
+        cov = np.diag(
+            [
+                cfg.measurement_noise_m**2,
+                cfg.measurement_noise_m**2,
+                cfg.initial_speed_uncertainty_mps**2,
+                cfg.initial_speed_uncertainty_mps**2,
+            ]
+        )
+        filtered_means[0] = mean
+        filtered_covs[0] = cov
+        predicted_means[0] = mean
+        predicted_covs[0] = cov
+        transitions[0] = np.eye(4)
+
+        for k in range(1, n):
+            dt = max(1e-3, times[k] - times[k - 1])
+            f = _transition(dt)
+            q = _process_noise(dt, cfg.process_noise_mps2)
+            pred_mean = f @ mean
+            pred_cov = f @ cov @ f.T + q
+
+            innovation = measurements[k] - _H @ pred_mean
+            s = _H @ pred_cov @ _H.T + r
+            gain = pred_cov @ _H.T @ np.linalg.inv(s)
+            mean = pred_mean + gain @ innovation
+            cov = (np.eye(4) - gain @ _H) @ pred_cov
+
+            filtered_means[k] = mean
+            filtered_covs[k] = cov
+            predicted_means[k] = pred_mean
+            predicted_covs[k] = pred_cov
+            transitions[k] = f
+
+        # Backward RTS smoothing.
+        smoothed = filtered_means.copy()
+        smoothed_cov = filtered_covs[-1]
+        for k in range(n - 2, -1, -1):
+            f = transitions[k + 1]
+            gain = filtered_covs[k] @ f.T @ np.linalg.inv(predicted_covs[k + 1])
+            smoothed[k] = filtered_means[k] + gain @ (
+                smoothed[k + 1] - predicted_means[k + 1]
+            )
+            smoothed_cov = (
+                filtered_covs[k]
+                + gain @ (smoothed_cov - predicted_covs[k + 1]) @ gain.T
+            )
+
+        out = [
+            Point(float(smoothed[k, 0]), float(smoothed[k, 1]), points[k].t)
+            for k in range(n)
+        ]
+        return trajectory.with_points(out)
+
+    def smooth_many(self, trajectories) -> list[Trajectory]:
+        return [self.smooth(t) for t in trajectories]

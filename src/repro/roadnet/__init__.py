@@ -1,0 +1,35 @@
+"""Synthetic road networks and GPS trajectory simulation.
+
+The paper evaluates on the Porto taxi and Jakarta ride-sharing datasets,
+which are not redistributable inside this sandbox. This package builds the
+closest synthetic equivalent: a procedurally generated city road network
+(grid arterials with jitter, diagonal avenues, curved roads, roundabouts)
+and a trip simulator that drives shortest paths over it at realistic speeds,
+emitting noisy GPS samples at a configurable rate.
+
+KAMEL itself never sees the network — only the trajectories — exactly as in
+the paper. The network is used only by (a) the simulator that produces
+ground-truth trajectories and (b) the map-matching reference baseline.
+"""
+
+from repro.roadnet.network import RoadNetwork
+from repro.roadnet.generator import CityConfig, generate_city
+from repro.roadnet.simulator import SimulatorConfig, TrajectorySimulator
+from repro.roadnet.datasets import (
+    Dataset,
+    make_city_dataset,
+    make_jakarta_like,
+    make_porto_like,
+)
+
+__all__ = [
+    "CityConfig",
+    "Dataset",
+    "RoadNetwork",
+    "SimulatorConfig",
+    "TrajectorySimulator",
+    "generate_city",
+    "make_city_dataset",
+    "make_jakarta_like",
+    "make_porto_like",
+]

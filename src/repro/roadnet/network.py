@@ -1,0 +1,273 @@
+"""The road network graph: nodes, polyline edges, and spatial queries."""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Hashable, Iterator, Optional, Sequence
+
+import networkx as nx
+
+from repro.errors import EmptyInputError
+from repro.geo import BoundingBox, Point, interpolate
+
+NodeId = Hashable
+
+
+@dataclass(frozen=True)
+class EdgeRef:
+    """A directed traversal of one undirected edge ``(u, v)``."""
+
+    u: NodeId
+    v: NodeId
+
+    def reversed(self) -> "EdgeRef":
+        return EdgeRef(self.v, self.u)
+
+    def key(self) -> tuple[NodeId, NodeId]:
+        """Canonical undirected key (sorted endpoints by repr)."""
+        a, b = sorted((self.u, self.v), key=repr)
+        return (a, b)
+
+
+@dataclass(frozen=True)
+class EdgePosition:
+    """A position on the network: an edge plus meters from its ``u`` end."""
+
+    edge: EdgeRef
+    offset_m: float
+    point: Point
+    distance_m: float
+    """Distance from the query point that produced this projection."""
+
+
+def _polyline_length(points: Sequence[Point]) -> float:
+    return sum(a.distance_to(b) for a, b in zip(points, points[1:]))
+
+
+def _point_along(points: Sequence[Point], offset: float) -> Point:
+    """The point ``offset`` meters along a polyline (clamped to its ends)."""
+    if offset <= 0:
+        return points[0]
+    walked = 0.0
+    for a, b in zip(points, points[1:]):
+        seg = a.distance_to(b)
+        if walked + seg >= offset:
+            if seg == 0.0:
+                return b
+            return interpolate(a, b, (offset - walked) / seg)
+        walked += seg
+    return points[-1]
+
+
+def _project_to_segment(p: Point, a: Point, b: Point) -> tuple[Point, float, float]:
+    """Project ``p`` onto segment ``ab``.
+
+    Returns ``(foot, along, dist)``: the closest point on the segment, its
+    distance from ``a`` along the segment, and its distance from ``p``.
+    """
+    ax, ay, bx, by = a.x, a.y, b.x, b.y
+    dx, dy = bx - ax, by - ay
+    seg2 = dx * dx + dy * dy
+    if seg2 == 0.0:
+        return a, 0.0, p.distance_to(a)
+    t = max(0.0, min(1.0, ((p.x - ax) * dx + (p.y - ay) * dy) / seg2))
+    foot = Point(ax + t * dx, ay + t * dy)
+    return foot, t * math.sqrt(seg2), p.distance_to(foot)
+
+
+class RoadNetwork:
+    """An undirected road graph with polyline edge geometry.
+
+    Nodes are arbitrary hashable identifiers with planar coordinates; every
+    edge carries a geometry polyline (oriented from its ``u`` to its ``v``
+    node) and a precomputed length used as the shortest-path weight.
+    """
+
+    def __init__(self, index_cell_m: float = 100.0) -> None:
+        self._graph = nx.Graph()
+        self._index_cell_m = index_cell_m
+        self._edge_index: Optional[dict[tuple[int, int], list[tuple[NodeId, NodeId]]]] = None
+
+    # -- construction ------------------------------------------------------
+
+    def add_node(self, node: NodeId, point: Point) -> None:
+        self._graph.add_node(node, point=point)
+
+    def add_edge(
+        self, u: NodeId, v: NodeId, geometry: Optional[Sequence[Point]] = None
+    ) -> None:
+        """Add an undirected edge; geometry defaults to the straight segment.
+
+        The supplied geometry must run from ``u`` to ``v``.
+        """
+        pu, pv = self.node_point(u), self.node_point(v)
+        if geometry is None:
+            geometry = (pu, pv)
+        geometry = tuple(geometry)
+        if geometry[0].distance_to(pu) > 1e-6 or geometry[-1].distance_to(pv) > 1e-6:
+            raise ValueError(f"edge geometry does not connect nodes {u!r} and {v!r}")
+        self._graph.add_edge(u, v, geometry=geometry, length=_polyline_length(geometry))
+        self._edge_index = None  # invalidate spatial index
+
+    # -- basic accessors ---------------------------------------------------
+
+    @property
+    def graph(self) -> nx.Graph:
+        return self._graph
+
+    @property
+    def num_nodes(self) -> int:
+        return self._graph.number_of_nodes()
+
+    @property
+    def num_edges(self) -> int:
+        return self._graph.number_of_edges()
+
+    def nodes(self) -> Iterator[NodeId]:
+        return iter(self._graph.nodes)
+
+    def node_point(self, node: NodeId) -> Point:
+        try:
+            return self._graph.nodes[node]["point"]
+        except KeyError as exc:
+            raise KeyError(f"unknown node {node!r}") from exc
+
+    def edge_geometry(self, u: NodeId, v: NodeId) -> tuple[Point, ...]:
+        """Geometry of edge ``(u, v)`` oriented from ``u`` to ``v``."""
+        data = self._graph.edges[u, v]
+        geom: tuple[Point, ...] = data["geometry"]
+        # Stored geometry is oriented from the lower endpoint at insert
+        # time; flip when traversing the other way.
+        if geom[0].distance_to(self.node_point(u)) <= 1e-6:
+            return geom
+        return tuple(reversed(geom))
+
+    def edge_length(self, u: NodeId, v: NodeId) -> float:
+        return self._graph.edges[u, v]["length"]
+
+    def total_length(self) -> float:
+        """Summed length of all edges in meters."""
+        return sum(d["length"] for _, _, d in self._graph.edges(data=True))
+
+    def bbox(self) -> BoundingBox:
+        if self.num_nodes == 0:
+            raise EmptyInputError("network has no nodes")
+        return BoundingBox.from_points(
+            self.node_point(n) for n in self._graph.nodes
+        )
+
+    # -- routing -----------------------------------------------------------
+
+    def shortest_path(self, source: NodeId, target: NodeId) -> list[NodeId]:
+        """Node sequence of the length-weighted shortest path."""
+        return nx.shortest_path(self._graph, source, target, weight="length")
+
+    def shortest_path_length(self, source: NodeId, target: NodeId) -> float:
+        return nx.shortest_path_length(self._graph, source, target, weight="length")
+
+    def single_source_lengths(self, source: NodeId, cutoff: Optional[float] = None) -> dict:
+        """Dijkstra lengths from ``source`` to every reachable node."""
+        return nx.single_source_dijkstra_path_length(
+            self._graph, source, cutoff=cutoff, weight="length"
+        )
+
+    def path_geometry(self, path: Sequence[NodeId]) -> list[Point]:
+        """Concatenate edge geometries along a node path (deduplicated)."""
+        if len(path) < 2:
+            return [self.node_point(path[0])] if path else []
+        out: list[Point] = []
+        for u, v in zip(path, path[1:]):
+            geom = self.edge_geometry(u, v)
+            if out:
+                geom = geom[1:]
+            out.extend(geom)
+        return out
+
+    def largest_component(self) -> "RoadNetwork":
+        """A copy containing only the largest connected component."""
+        if self.num_nodes == 0:
+            return self
+        keep = max(nx.connected_components(self._graph), key=len)
+        sub = RoadNetwork(self._index_cell_m)
+        # Sort for determinism: set iteration order depends on the
+        # per-process hash seed, and node order drives trip sampling.
+        for n in sorted(keep, key=repr):
+            sub.add_node(n, self.node_point(n))
+        for u, v, data in self._graph.edges(data=True):
+            if u in keep and v in keep:
+                sub._graph.add_edge(u, v, **data)
+        return sub
+
+    # -- spatial queries ----------------------------------------------------
+
+    def _build_edge_index(self) -> dict[tuple[int, int], list[tuple[NodeId, NodeId]]]:
+        index: dict[tuple[int, int], list[tuple[NodeId, NodeId]]] = defaultdict(list)
+        cell = self._index_cell_m
+        for u, v, data in self._graph.edges(data=True):
+            geom: Sequence[Point] = data["geometry"]
+            seen: set[tuple[int, int]] = set()
+            for a, b in zip(geom, geom[1:]):
+                steps = max(1, int(a.distance_to(b) / cell) + 1)
+                for k in range(steps + 1):
+                    p = interpolate(a, b, k / steps)
+                    key = (math.floor(p.x / cell), math.floor(p.y / cell))
+                    if key not in seen:
+                        seen.add(key)
+                        index[key].append((u, v))
+        return dict(index)
+
+    def _candidate_edges(self, p: Point, radius: float) -> set[tuple[NodeId, NodeId]]:
+        if self._edge_index is None:
+            self._edge_index = self._build_edge_index()
+        cell = self._index_cell_m
+        reach = max(1, int(math.ceil(radius / cell)))
+        ci, cj = math.floor(p.x / cell), math.floor(p.y / cell)
+        out: set[tuple[NodeId, NodeId]] = set()
+        for di in range(-reach, reach + 1):
+            for dj in range(-reach, reach + 1):
+                out.update(self._edge_index.get((ci + di, cj + dj), ()))
+        return out
+
+    def project(self, p: Point, radius: float = 250.0) -> Optional[EdgePosition]:
+        """The closest network position to ``p`` within ``radius`` meters."""
+        candidates = self.nearest_edges(p, radius, limit=1)
+        return candidates[0] if candidates else None
+
+    def nearest_edges(
+        self, p: Point, radius: float = 250.0, limit: int = 8
+    ) -> list[EdgePosition]:
+        """Up to ``limit`` distinct edge projections within ``radius``.
+
+        Results are sorted by distance from ``p``; each edge appears once
+        (its best projection). Used by the HMM map-matching baseline to
+        enumerate candidate states.
+        """
+        best: dict[tuple[NodeId, NodeId], EdgePosition] = {}
+        for u, v in self._candidate_edges(p, radius):
+            geom = self.edge_geometry(u, v)
+            walked = 0.0
+            for a, b in zip(geom, geom[1:]):
+                foot, along, dist = _project_to_segment(p, a, b)
+                if dist <= radius:
+                    pos = EdgePosition(EdgeRef(u, v), walked + along, foot, dist)
+                    key = EdgeRef(u, v).key()
+                    if key not in best or dist < best[key].distance_m:
+                        best[key] = pos
+                walked += a.distance_to(b)
+        ranked = sorted(best.values(), key=lambda e: e.distance_m)
+        return ranked[:limit]
+
+    def nearest_node(self, p: Point) -> NodeId:
+        """The node closest to ``p`` (linear scan; fine at city scale)."""
+        if self.num_nodes == 0:
+            raise EmptyInputError("network has no nodes")
+        return min(self._graph.nodes, key=lambda n: self.node_point(n).distance_to(p))
+
+    def point_along_edge(self, edge: EdgeRef, offset_m: float) -> Point:
+        """The point ``offset_m`` meters along ``edge`` from its ``u`` end."""
+        return _point_along(self.edge_geometry(edge.u, edge.v), offset_m)
+
+    def __repr__(self) -> str:
+        return f"RoadNetwork(nodes={self.num_nodes}, edges={self.num_edges})"

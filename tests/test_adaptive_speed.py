@@ -1,0 +1,119 @@
+"""Tests for the adaptive speed-constraint variant (paper Section 5.1)."""
+
+import pytest
+
+from repro import Kamel, KamelConfig
+from repro.core.constraints import GapContext, SpatialConstraints
+from repro.core.kamel import _segment_speed
+from repro.core.tokenization import Tokenizer
+from repro.errors import ConfigError
+from repro.geo import Point
+from repro.grid import HexGrid
+
+
+@pytest.fixture()
+def setup():
+    tokenizer = Tokenizer(HexGrid(75.0))
+    s = tokenizer.vocabulary.add(tokenizer.grid.cell_of(Point(0, 0)))
+    d = tokenizer.vocabulary.add(tokenizer.grid.cell_of(Point(600, 0)))
+    return tokenizer, s, d
+
+
+def make_constraints(tokenizer, mode="adaptive", factor=1.5):
+    config = KamelConfig(speed_mode=mode, adaptive_speed_factor=factor, max_speed_mps=20.0)
+    return SpatialConstraints(tokenizer, config, max_speed_mps=20.0)
+
+
+class TestConfig:
+    def test_mode_validated(self):
+        with pytest.raises(ConfigError):
+            KamelConfig(speed_mode="psychic")
+
+    def test_factor_validated(self):
+        with pytest.raises(ConfigError):
+            KamelConfig(adaptive_speed_factor=0.0)
+
+
+class TestAdaptiveEllipse:
+    def test_slow_reference_tightens_ellipse(self, setup):
+        tokenizer, s, d = setup
+        constraints = make_constraints(tokenizer)
+        slow = GapContext(s, d, 0.0, 100.0, reference_speed_mps=5.0)
+        fast = GapContext(s, d, 0.0, 100.0, reference_speed_mps=18.0)
+        assert constraints.ellipse_distance_sum(slow) < constraints.ellipse_distance_sum(fast)
+
+    def test_reference_capped_by_fleet_maximum(self, setup):
+        tokenizer, s, d = setup
+        constraints = make_constraints(tokenizer)
+        absurd = GapContext(s, d, 0.0, 100.0, reference_speed_mps=500.0)
+        fixed = GapContext(s, d, 0.0, 100.0)
+        assert constraints.ellipse_distance_sum(absurd) == pytest.approx(
+            constraints.ellipse_distance_sum(fixed)
+        )
+
+    def test_no_reference_falls_back_to_fixed(self, setup):
+        tokenizer, s, d = setup
+        constraints = make_constraints(tokenizer)
+        ctx = GapContext(s, d, 0.0, 100.0)
+        fixed_constraints = make_constraints(tokenizer, mode="fixed")
+        assert constraints.ellipse_distance_sum(ctx) == pytest.approx(
+            fixed_constraints.ellipse_distance_sum(ctx)
+        )
+
+    def test_fixed_mode_ignores_reference(self, setup):
+        tokenizer, s, d = setup
+        constraints = make_constraints(tokenizer, mode="fixed")
+        slow = GapContext(s, d, 0.0, 100.0, reference_speed_mps=3.0)
+        plain = GapContext(s, d, 0.0, 100.0)
+        assert constraints.ellipse_distance_sum(slow) == pytest.approx(
+            constraints.ellipse_distance_sum(plain)
+        )
+
+    def test_floor_still_guarantees_straight_path(self, setup):
+        tokenizer, s, d = setup
+        constraints = make_constraints(tokenizer)
+        crawling = GapContext(s, d, 0.0, 10.0, reference_speed_mps=0.5)
+        straight = tokenizer.token_distance_m(s, d)
+        assert constraints.ellipse_distance_sum(crawling) >= straight
+
+
+class TestSegmentSpeedHelper:
+    def test_speed_over_chain(self):
+        pts = [Point(0, 0, t=0.0), Point(100, 0, t=10.0), Point(200, 0, t=20.0)]
+        assert _segment_speed(pts) == pytest.approx(10.0)
+
+    def test_untimed_none(self):
+        assert _segment_speed([Point(0, 0), Point(10, 0)]) is None
+
+    def test_zero_duration_none(self):
+        assert _segment_speed([Point(0, 0, t=5.0), Point(10, 0, t=5.0)]) is None
+
+    def test_single_point_none(self):
+        assert _segment_speed([Point(0, 0, t=0.0)]) is None
+
+
+class TestSystemIntegration:
+    def test_adaptive_system_imputes(self, small_split):
+        train, test = small_split
+        system = Kamel(
+            KamelConfig(speed_mode="adaptive", max_model_calls=600)
+        ).fit(train)
+        result = system.impute(test[0].sparsify(500.0))
+        assert result.num_segments >= 1
+        assert result.trajectory.max_gap() < 1000.0
+
+    def test_adaptive_quality_comparable_to_fixed(self, small_split):
+        from repro.eval import evaluate_imputation
+
+        train, test = small_split
+        test = test[:5]
+        sparse = [t.sparsify(500.0) for t in test]
+        fixed = Kamel(KamelConfig(max_model_calls=600)).fit(train)
+        adaptive = Kamel(
+            KamelConfig(speed_mode="adaptive", max_model_calls=600)
+        ).fit(train)
+        fixed_scores = evaluate_imputation(test, fixed.impute_batch(sparse), 100.0, 40.0)
+        adaptive_scores = evaluate_imputation(
+            test, adaptive.impute_batch(sparse), 100.0, 40.0
+        )
+        assert adaptive_scores.recall >= fixed_scores.recall - 0.15

@@ -1,0 +1,63 @@
+"""Tests for per-segment imputation confidence scores."""
+
+import pytest
+
+from repro.baselines import LinearImputer
+from repro.geo import Point, Trajectory
+
+
+class TestConfidenceThroughSystem:
+    @pytest.fixture(scope="class")
+    def results(self, trained_kamel, small_split):
+        _, test = small_split
+        return [trained_kamel.impute(t.sparsify(500.0)) for t in test[:6]]
+
+    def test_successful_segments_carry_confidence(self, results):
+        scored = [
+            s for r in results for s in r.segments if not s.failed
+        ]
+        assert scored, "expected at least one successful segment"
+        for outcome in scored:
+            assert outcome.confidence is not None
+            assert 0.0 < outcome.confidence <= 1.0
+
+    def test_failed_segments_have_no_confidence(self, results):
+        for r in results:
+            for outcome in r.segments:
+                if outcome.failed:
+                    assert outcome.confidence is None
+
+    def test_confidence_varies_across_segments(self, results):
+        values = {
+            round(s.confidence, 6)
+            for r in results
+            for s in r.segments
+            if s.confidence is not None
+        }
+        # Not a constant: the score reflects the actual search outcome.
+        assert len(values) >= 2
+
+    def test_baselines_unscored(self, small_split):
+        _, test = small_split
+        result = LinearImputer(100.0).impute(test[0].sparsify(500.0))
+        for outcome in result.segments:
+            assert outcome.confidence is None
+
+
+class TestConfidenceSemantics:
+    def test_easy_gap_scores_higher_than_hard_gap(self, trained_kamel, small_split):
+        """Aggregate sanity: short gaps (few insertions) should on average
+        carry at least as much confidence as very long ones."""
+        _, test = small_split
+        short_scores = []
+        long_scores = []
+        for t in test[:8]:
+            for sparseness, bucket in ((350.0, short_scores), (900.0, long_scores)):
+                result = trained_kamel.impute(t.sparsify(sparseness))
+                bucket.extend(
+                    s.confidence for s in result.segments if s.confidence is not None
+                )
+        if short_scores and long_scores:
+            mean_short = sum(short_scores) / len(short_scores)
+            mean_long = sum(long_scores) / len(long_scores)
+            assert mean_short >= mean_long - 0.1

@@ -1,0 +1,282 @@
+"""Tests for the multipoint imputation strategies (paper Section 6).
+
+A scripted fake model drives the algorithms deterministically: the world
+is an east-west corridor of hexagon cells and the model proposes each
+cell's east/west neighbours with configurable probabilities.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.config import KamelConfig
+from repro.core.constraints import GapContext, SpatialConstraints
+from repro.core.imputation import (
+    BeamSearchImputer,
+    IterativeImputer,
+    SinglePointImputer,
+    make_segment_imputer,
+)
+from repro.core.tokenization import Tokenizer
+from repro.geo import Point
+from repro.grid import HexGrid
+from repro.mlm.base import MaskedModel, validate_mask_query
+
+
+class CorridorModel(MaskedModel):
+    """Proposes spatial neighbours of the masked position's left anchor.
+
+    The corridor's token ids are interned in a Tokenizer; predictions are
+    the cells adjacent (in the grid) to the left neighbour token, weighted
+    so the eastward continuation wins.
+    """
+
+    def __init__(self, tokenizer: Tokenizer):
+        self.tokenizer = tokenizer
+        self._fitted = True
+
+    def fit(self, sequences, vocab_size):
+        return self
+
+    @property
+    def is_fitted(self):
+        return True
+
+    @property
+    def num_training_tokens(self):
+        return 1
+
+    def predict_masked(self, tokens, position, top_k=10):
+        validate_mask_query(tokens, position)
+        vocab = self.tokenizer.vocabulary
+        anchor = tokens[position - 1] if position >= 1 else tokens[position + 1]
+        if vocab.is_special(anchor):
+            return []
+        cell = self.tokenizer.cell_of_token(anchor)
+        out = []
+        # Eastward neighbour of a pointy-top hexagon: (+1, 0) axial.
+        ranked = sorted(
+            self.tokenizer.grid.neighbors(cell),
+            key=lambda c: -self.tokenizer.grid.centroid(c).x,
+        )
+        probs = [0.4, 0.2, 0.15, 0.12, 0.08, 0.05]
+        for c, p in zip(ranked, probs):
+            if c in vocab:
+                out.append((vocab.encode(c), p))
+        return out[:top_k]
+
+
+@pytest.fixture()
+def world():
+    tokenizer = Tokenizer(HexGrid(75.0))
+    spacing = tokenizer.grid.centroid_spacing_m
+    # Intern a corridor of 12 adjacent cells plus their neighbours.
+    corridor = []
+    base_cell = tokenizer.grid.cell_of(Point(0, 0))
+    cell = base_cell
+    for _ in range(12):
+        corridor.append(tokenizer.vocabulary.add(cell))
+        cell = (cell[0] + 1, cell[1])  # axial east neighbour
+    for c in list(tokenizer.vocabulary)[3:]:
+        for n in tokenizer.grid.neighbors(c):
+            tokenizer.vocabulary.add(n)
+    config = KamelConfig(max_speed_mps=20.0, top_k_candidates=6, beam_size=4)
+    constraints = SpatialConstraints(tokenizer, config, max_speed_mps=20.0)
+    model = CorridorModel(tokenizer)
+    return tokenizer, config, constraints, model, corridor, spacing
+
+
+def corridor_ctx(tokenizer, corridor, spacing, start=0, end=8):
+    return GapContext(
+        source=corridor[start],
+        dest=corridor[end],
+        source_time=0.0,
+        dest_time=(end - start) * spacing / 10.0,
+    )
+
+
+class TestGapGeometry:
+    def test_adjacent_cells_not_a_gap(self, world):
+        tokenizer, config, constraints, model, corridor, _ = world
+        imputer = IterativeImputer(model, tokenizer, constraints, config)
+        assert imputer.find_first_gap([corridor[0], corridor[1]]) is None
+
+    def test_distant_cells_are_a_gap(self, world):
+        tokenizer, config, constraints, model, corridor, _ = world
+        imputer = IterativeImputer(model, tokenizer, constraints, config)
+        assert imputer.find_first_gap([corridor[0], corridor[8]]) == 0
+
+    def test_find_gaps_multiple(self, world):
+        tokenizer, config, constraints, model, corridor, _ = world
+        imputer = IterativeImputer(model, tokenizer, constraints, config)
+        seg = [corridor[0], corridor[5], corridor[6], corridor[11]]
+        assert imputer.find_gaps(seg) == [0, 2]
+
+    def test_gap_threshold_override(self, world):
+        tokenizer, config, constraints, model, corridor, _ = world
+        imputer = IterativeImputer(
+            model, tokenizer, constraints, config, gap_threshold_m=400.0
+        )
+        # Cells three apart (~390 m) are no longer a gap.
+        assert imputer.find_first_gap([corridor[0], corridor[3]]) is None
+
+    def test_query_embeds_context_tokens(self, world):
+        tokenizer, config, constraints, model, corridor, _ = world
+        imputer = IterativeImputer(model, tokenizer, constraints, config)
+        ctx = GapContext(
+            corridor[1], corridor[5], prev_token=corridor[0], next_token=corridor[6]
+        )
+        tokens, position = imputer._query((corridor[1], corridor[5]), 0, ctx)
+        assert tokens[0] == corridor[0]
+        assert tokens[-1] == corridor[6]
+        assert position == 2
+
+
+class TestIterative:
+    def test_closes_corridor_gap(self, world):
+        tokenizer, config, constraints, model, corridor, spacing = world
+        imputer = IterativeImputer(model, tokenizer, constraints, config)
+        result = imputer.impute_segment(corridor_ctx(tokenizer, corridor, spacing))
+        assert not result.failed
+        # The greedy east-walking model fills exactly the corridor between.
+        assert list(result.interior) == corridor[1:8]
+        assert result.model_calls == len(result.interior)
+
+    def test_no_gap_returns_empty(self, world):
+        tokenizer, config, constraints, model, corridor, spacing = world
+        imputer = IterativeImputer(model, tokenizer, constraints, config)
+        result = imputer.impute_segment(
+            corridor_ctx(tokenizer, corridor, spacing, start=0, end=1)
+        )
+        assert not result.failed
+        assert result.interior == ()
+
+    def test_budget_exhaustion_fails(self, world):
+        tokenizer, config, constraints, model, corridor, spacing = world
+        tight = dataclasses.replace(config, max_model_calls=2)
+        imputer = IterativeImputer(model, tokenizer, constraints, tight)
+        result = imputer.impute_segment(corridor_ctx(tokenizer, corridor, spacing))
+        assert result.failed
+        assert result.model_calls <= 3
+
+    def test_starved_candidates_fail(self, world):
+        tokenizer, config, constraints, model, corridor, spacing = world
+
+        class SilentModel(CorridorModel):
+            def predict_masked(self, tokens, position, top_k=10):
+                return []
+
+        imputer = IterativeImputer(SilentModel(tokenizer), tokenizer, constraints, config)
+        result = imputer.impute_segment(corridor_ctx(tokenizer, corridor, spacing))
+        assert result.failed
+
+
+class TestBeamSearch:
+    def test_closes_corridor_gap(self, world):
+        tokenizer, config, constraints, model, corridor, spacing = world
+        imputer = BeamSearchImputer(model, tokenizer, constraints, config)
+        result = imputer.impute_segment(corridor_ctx(tokenizer, corridor, spacing))
+        assert not result.failed
+        assert list(result.interior) == corridor[1:8]
+
+    def test_beam_finds_higher_probability_than_greedy_trap(self, world):
+        """Where greedy takes a locally best step into a dead end, beam
+        search recovers via a lower-probability first step."""
+        tokenizer, config, constraints, model, corridor, spacing = world
+
+        class TrapModel(CorridorModel):
+            """Top candidate is a northern detour cell that dead-ends."""
+
+            def predict_masked(self, tokens, position, top_k=10):
+                base = super().predict_masked(tokens, position, top_k)
+                vocab = self.tokenizer.vocabulary
+                anchor = tokens[position - 1]
+                if vocab.is_special(anchor):
+                    return base
+                cell = self.tokenizer.cell_of_token(anchor)
+                trap = (cell[0], cell[1] + 1)  # north-east neighbour
+                if trap in vocab:
+                    # After a trap cell, propose nothing (dead end).
+                    prev_cell = None
+                    if position >= 2 and not vocab.is_special(tokens[position - 2]):
+                        prev_cell = self.tokenizer.cell_of_token(tokens[position - 2])
+                    if prev_cell == (cell[0], cell[1] - 1):
+                        return []
+                    return [(vocab.encode(trap), 0.9)] + base
+                return base
+
+        trap_model = TrapModel(tokenizer)
+        greedy = IterativeImputer(trap_model, tokenizer, constraints, config)
+        beam = BeamSearchImputer(trap_model, tokenizer, constraints, config)
+        ctx = corridor_ctx(tokenizer, corridor, spacing, end=6)
+        beam_result = beam.impute_segment(ctx)
+        greedy_result = greedy.impute_segment(ctx)
+        assert not beam_result.failed
+        # The answer must be a *valid* chain: every consecutive pair within
+        # the gap threshold (the trap's pull cannot leave an open gap).
+        full = [corridor[0], *beam_result.interior, corridor[6]]
+        assert beam.find_gaps(full) == []
+        del greedy_result
+
+    def test_length_normalization_monotone_in_alpha(self, world):
+        tokenizer, config, constraints, model, corridor, _ = world
+        imputer0 = BeamSearchImputer(
+            model, tokenizer, constraints, dataclasses.replace(config, length_norm_alpha=0.0)
+        )
+        imputer1 = BeamSearchImputer(
+            model, tokenizer, constraints, dataclasses.replace(config, length_norm_alpha=1.0)
+        )
+        seg = tuple(corridor[:4])
+        assert imputer0._normalized(seg, 0.5) == pytest.approx(0.5)
+        assert imputer1._normalized(seg, 0.5) == pytest.approx(1.0)  # 2 interior tokens
+
+    def test_budget_exhaustion(self, world):
+        tokenizer, config, constraints, model, corridor, spacing = world
+        tight = dataclasses.replace(config, max_model_calls=1)
+        imputer = BeamSearchImputer(model, tokenizer, constraints, tight)
+        result = imputer.impute_segment(corridor_ctx(tokenizer, corridor, spacing))
+        assert result.failed
+
+
+class TestSinglePointAblation:
+    def test_inserts_exactly_one_token(self, world):
+        tokenizer, config, constraints, model, corridor, spacing = world
+        imputer = SinglePointImputer(model, tokenizer, constraints, config)
+        result = imputer.impute_segment(corridor_ctx(tokenizer, corridor, spacing))
+        assert not result.failed
+        assert len(result.interior) == 1
+        assert result.model_calls == 1
+
+    def test_no_gap_no_call(self, world):
+        tokenizer, config, constraints, model, corridor, spacing = world
+        imputer = SinglePointImputer(model, tokenizer, constraints, config)
+        result = imputer.impute_segment(
+            corridor_ctx(tokenizer, corridor, spacing, end=1)
+        )
+        assert result.interior == ()
+        assert result.model_calls == 0
+
+
+class TestFactory:
+    def test_beam_default(self, world):
+        tokenizer, config, constraints, model, _, _ = world
+        assert isinstance(
+            make_segment_imputer(model, tokenizer, constraints, config),
+            BeamSearchImputer,
+        )
+
+    def test_iterative_selected(self, world):
+        tokenizer, config, constraints, model, _, _ = world
+        cfg = dataclasses.replace(config, imputer="iterative")
+        assert isinstance(
+            make_segment_imputer(model, tokenizer, constraints, cfg),
+            IterativeImputer,
+        )
+
+    def test_ablation_overrides_strategy(self, world):
+        tokenizer, config, constraints, model, _, _ = world
+        cfg = dataclasses.replace(config, use_multipoint=False)
+        assert isinstance(
+            make_segment_imputer(model, tokenizer, constraints, cfg),
+            SinglePointImputer,
+        )

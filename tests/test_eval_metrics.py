@@ -1,0 +1,137 @@
+"""Tests for the paper's evaluation metrics (Section 8)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.result import ImputationResult, SegmentOutcome
+from repro.eval.metrics import (
+    evaluate_imputation,
+    failure_rate,
+    point_to_polyline_distance,
+    point_to_segment_distance,
+    precision,
+    recall,
+)
+from repro.geo import Point, Trajectory
+
+
+def line(tid, y=0.0, n=11, spacing=100.0):
+    return Trajectory(tid, [Point(i * spacing, y, t=float(i)) for i in range(n)])
+
+
+class TestPointToPolyline:
+    def test_on_the_line(self):
+        assert point_to_polyline_distance(Point(50, 0), [Point(0, 0), Point(100, 0)]) == 0.0
+
+    def test_perpendicular(self):
+        assert point_to_polyline_distance(Point(50, 30), [Point(0, 0), Point(100, 0)]) == 30.0
+
+    def test_beyond_endpoint_clamps(self):
+        d = point_to_polyline_distance(Point(130, 40), [Point(0, 0), Point(100, 0)])
+        assert d == pytest.approx(50.0)
+
+    def test_multi_segment_takes_nearest(self):
+        polyline = [Point(0, 0), Point(100, 0), Point(100, 100)]
+        assert point_to_polyline_distance(Point(110, 90), polyline) == pytest.approx(10.0)
+
+    def test_empty_polyline(self):
+        assert point_to_polyline_distance(Point(0, 0), []) == float("inf")
+
+    def test_single_point_polyline(self):
+        assert point_to_polyline_distance(Point(3, 4), [Point(0, 0)]) == pytest.approx(5.0)
+
+    def test_segment_degenerate(self):
+        assert point_to_segment_distance(Point(3, 4), Point(0, 0), Point(0, 0)) == 5.0
+
+    @given(
+        st.floats(min_value=-100, max_value=200),
+        st.floats(min_value=-100, max_value=100),
+    )
+    def test_distance_non_negative(self, x, y):
+        assert point_to_polyline_distance(Point(x, y), [Point(0, 0), Point(100, 0)]) >= 0
+
+
+class TestRecallPrecision:
+    def test_identical_trajectories_perfect(self):
+        truth = line("t")
+        assert recall(truth, truth, 100.0, 10.0) == 1.0
+        assert precision(truth, truth, 100.0, 10.0) == 1.0
+
+    def test_parallel_offset_within_delta(self):
+        truth = line("t", y=0.0)
+        shifted = line("i", y=30.0)
+        assert recall(truth, shifted, 100.0, 50.0) == 1.0
+        assert recall(truth, shifted, 100.0, 20.0) == 0.0
+
+    def test_partial_coverage_recall(self):
+        truth = line("t", n=11)  # 0..1000 m
+        half = Trajectory("i", [Point(x, 0.0) for x in (0.0, 250.0, 500.0)])
+        r = recall(truth, half, 100.0, 10.0)
+        assert 0.4 < r < 0.7
+
+    def test_precision_penalizes_hallucination(self):
+        truth = line("t", n=11)
+        detour = Trajectory(
+            "i",
+            [Point(0, 0), Point(500, 900), Point(1000, 0)],  # wanders far north
+        )
+        assert precision(truth, detour, 100.0, 50.0) < 0.5
+
+    def test_recall_insensitive_to_extra_imputed_points(self):
+        """Recall only asks whether truth probes are covered."""
+        truth = line("t")
+        dense_plus_noise = Trajectory(
+            "i", list(line("x").points) + [Point(500.0, 40.0)]
+        )
+        assert recall(truth, dense_plus_noise, 100.0, 50.0) == 1.0
+
+    def test_threshold_monotonicity(self):
+        truth = line("t")
+        wobbly = Trajectory("i", [Point(i * 100.0, 25.0 * (-1) ** i) for i in range(11)])
+        r_tight = recall(truth, wobbly, 100.0, 10.0)
+        r_loose = recall(truth, wobbly, 100.0, 80.0)
+        assert r_loose >= r_tight
+
+
+class TestFailureRate:
+    def make_result(self, flags):
+        segments = tuple(
+            SegmentOutcome(i, failed, 0, 0) for i, failed in enumerate(flags)
+        )
+        return ImputationResult(line("x"), segments)
+
+    def test_mixed(self):
+        results = [self.make_result([True, False]), self.make_result([False, False])]
+        assert failure_rate(results) == pytest.approx(0.25)
+
+    def test_no_segments(self):
+        assert failure_rate([self.make_result([])]) == 0.0
+
+    def test_result_properties(self):
+        r = self.make_result([True, False, True])
+        assert r.num_segments == 3
+        assert r.num_failed == 2
+        assert r.failure_rate == pytest.approx(2 / 3)
+
+
+class TestEvaluateImputation:
+    def test_aggregates_means(self):
+        truth = [line("a"), line("b")]
+        results = [
+            ImputationResult(line("a"), (SegmentOutcome(0, False, 1, 1),)),
+            ImputationResult(line("b", y=1000.0), (SegmentOutcome(0, True, 0, 1),)),
+        ]
+        scores = evaluate_imputation(truth, results, 100.0, 50.0)
+        assert scores.recall == pytest.approx(0.5)
+        assert scores.failure_rate == pytest.approx(0.5)
+        assert scores.num_trajectories == 2
+        assert scores.num_segments == 2
+        assert set(scores.as_dict()) == {"recall", "precision", "failure_rate"}
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate_imputation([line("a")], [], 100.0, 50.0)
+
+    def test_empty_inputs(self):
+        scores = evaluate_imputation([], [], 100.0, 50.0)
+        assert scores.num_trajectories == 0

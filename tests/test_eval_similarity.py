@@ -1,0 +1,118 @@
+"""Tests for Hausdorff / Fréchet / mean-deviation similarity measures."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import EmptyInputError
+from repro.eval.similarity import (
+    directed_hausdorff,
+    discrete_frechet_distance,
+    hausdorff_distance,
+    mean_deviation,
+)
+from repro.geo import Point, Trajectory
+
+coords = st.floats(min_value=-1000, max_value=1000, allow_nan=False)
+point_lists = st.lists(st.tuples(coords, coords), min_size=1, max_size=12)
+
+
+def line(tid="t", y=0.0, n=11, spacing=100.0):
+    return Trajectory(tid, [Point(i * spacing, y) for i in range(n)])
+
+
+class TestHausdorff:
+    def test_identical_is_zero(self):
+        assert hausdorff_distance(line(), line()) == 0.0
+
+    def test_parallel_offset(self):
+        assert hausdorff_distance(line(y=0.0), line(y=40.0)) == pytest.approx(40.0)
+
+    def test_asymmetric_directed(self):
+        short = [Point(0, 0), Point(100, 0)]
+        long_line = [Point(0, 0), Point(1000, 0)]
+        assert directed_hausdorff(short, long_line) == 0.0
+        assert directed_hausdorff(long_line, short) == pytest.approx(900.0)
+
+    def test_symmetric(self):
+        a, b = line(y=0.0, n=5), line(y=70.0, n=9)
+        assert hausdorff_distance(a, b) == pytest.approx(hausdorff_distance(b, a))
+
+    def test_empty_rejected(self):
+        with pytest.raises(EmptyInputError):
+            directed_hausdorff([], [Point(0, 0)])
+
+    @settings(max_examples=25, deadline=None)
+    @given(point_lists, point_lists)
+    def test_non_negative_and_symmetric(self, pa, pb):
+        a = Trajectory("a", [Point(x, y) for x, y in pa])
+        b = Trajectory("b", [Point(x, y) for x, y in pb])
+        d = hausdorff_distance(a, b)
+        assert d >= 0.0
+        assert d == pytest.approx(hausdorff_distance(b, a))
+
+
+class TestFrechet:
+    def test_identical_is_zero(self):
+        assert discrete_frechet_distance(line(), line()) == 0.0
+
+    def test_parallel_offset(self):
+        assert discrete_frechet_distance(line(y=0.0), line(y=40.0)) == pytest.approx(40.0)
+
+    def test_order_sensitivity(self):
+        """Fréchet punishes reversed traversal; Hausdorff cannot."""
+        forward = line(n=11)
+        backward = Trajectory("b", list(reversed(forward.points)))
+        assert hausdorff_distance(forward, backward) == 0.0
+        assert discrete_frechet_distance(forward, backward) >= 500.0
+
+    def test_upper_bounds_hausdorff_pointwise(self):
+        """Discrete Fréchet >= point-set Hausdorff on the same sequences."""
+        a = Trajectory("a", [Point(0, 0), Point(100, 50), Point(200, 0)])
+        b = Trajectory("b", [Point(0, 10), Point(100, 0), Point(210, 10)])
+        frechet = discrete_frechet_distance(a, b)
+        # Point-to-point Hausdorff (not polyline) is a lower bound.
+        point_hausdorff = max(
+            min(p.distance_to(q) for q in b.points) for p in a.points
+        )
+        assert frechet >= point_hausdorff - 1e-9
+
+    def test_empty_rejected(self):
+        with pytest.raises(EmptyInputError):
+            discrete_frechet_distance(Trajectory("e"), line())
+
+    def test_single_points(self):
+        a = Trajectory("a", [Point(0, 0)])
+        b = Trajectory("b", [Point(3, 4)])
+        assert discrete_frechet_distance(a, b) == pytest.approx(5.0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(point_lists, point_lists)
+    def test_symmetric(self, pa, pb):
+        a = Trajectory("a", [Point(x, y) for x, y in pa])
+        b = Trajectory("b", [Point(x, y) for x, y in pb])
+        assert discrete_frechet_distance(a, b) == pytest.approx(
+            discrete_frechet_distance(b, a)
+        )
+
+    def test_long_trajectories_no_recursion_issue(self):
+        a = line(n=600, spacing=10.0)
+        b = line(n=600, spacing=10.0, y=5.0)
+        assert discrete_frechet_distance(a, b) == pytest.approx(5.0)
+
+
+class TestMeanDeviation:
+    def test_zero_on_identical(self):
+        assert mean_deviation(line(), line()) == 0.0
+
+    def test_offset(self):
+        assert mean_deviation(line(y=0.0), line(y=30.0)) == pytest.approx(30.0)
+
+    def test_empty_truth_rejected(self):
+        with pytest.raises(EmptyInputError):
+            mean_deviation(Trajectory("e"), line())
+
+    def test_better_imputation_has_lower_deviation(self):
+        truth = line()
+        good = line(y=10.0)
+        bad = line(y=80.0)
+        assert mean_deviation(truth, good) < mean_deviation(truth, bad)

@@ -1,0 +1,97 @@
+"""Unit tests for repro.geo.bbox."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import EmptyInputError
+from repro.geo import BoundingBox, Point
+
+coords = st.floats(min_value=-1e5, max_value=1e5, allow_nan=False)
+
+
+def box(x0=0.0, y0=0.0, x1=10.0, y1=10.0) -> BoundingBox:
+    return BoundingBox(x0, y0, x1, y1)
+
+
+class TestConstruction:
+    def test_degenerate_raises(self):
+        with pytest.raises(ValueError):
+            BoundingBox(5, 0, 0, 10)
+
+    def test_zero_extent_allowed(self):
+        b = BoundingBox(1, 1, 1, 1)
+        assert b.area == 0.0
+
+    def test_from_points(self):
+        b = BoundingBox.from_points([Point(1, 5), Point(-2, 3), Point(0, 9)])
+        assert (b.min_x, b.min_y, b.max_x, b.max_y) == (-2, 3, 1, 9)
+
+    def test_from_points_empty_raises(self):
+        with pytest.raises(EmptyInputError):
+            BoundingBox.from_points([])
+
+    def test_union_all_empty_raises(self):
+        with pytest.raises(EmptyInputError):
+            BoundingBox.union_all([])
+
+
+class TestProperties:
+    def test_dimensions(self):
+        b = box(0, 0, 4, 3)
+        assert (b.width, b.height, b.area) == (4, 3, 12)
+
+    def test_center(self):
+        c = box(0, 0, 10, 20).center
+        assert (c.x, c.y) == (5, 10)
+
+
+class TestPredicates:
+    def test_contains_point_interior(self):
+        assert box().contains_point(Point(5, 5))
+
+    def test_contains_point_boundary(self):
+        assert box().contains_point(Point(0, 10))
+
+    def test_contains_point_outside(self):
+        assert not box().contains_point(Point(10.001, 5))
+
+    def test_contains_box(self):
+        assert box().contains_box(box(1, 1, 9, 9))
+        assert box().contains_box(box())  # itself
+        assert not box(1, 1, 9, 9).contains_box(box())
+
+    def test_intersects_overlap(self):
+        assert box().intersects(box(5, 5, 15, 15))
+
+    def test_intersects_touching_edge(self):
+        assert box().intersects(box(10, 0, 20, 10))
+
+    def test_intersects_disjoint(self):
+        assert not box().intersects(box(11, 11, 20, 20))
+
+    def test_intersects_symmetric(self):
+        a, b = box(), box(5, -5, 15, 5)
+        assert a.intersects(b) == b.intersects(a)
+
+
+class TestOperations:
+    def test_expand(self):
+        b = box().expand(2.0)
+        assert (b.min_x, b.min_y, b.max_x, b.max_y) == (-2, -2, 12, 12)
+
+    def test_union(self):
+        u = box(0, 0, 1, 1).union(box(5, 5, 6, 7))
+        assert (u.min_x, u.min_y, u.max_x, u.max_y) == (0, 0, 6, 7)
+
+    @given(coords, coords, coords, coords)
+    def test_union_contains_both(self, x0, y0, x1, y1):
+        a = BoundingBox(min(x0, x1), min(y0, y1), max(x0, x1), max(y0, y1))
+        b = box(-1, -1, 1, 1)
+        u = a.union(b)
+        assert u.contains_box(a) and u.contains_box(b)
+
+    @given(st.lists(st.tuples(coords, coords), min_size=1, max_size=20))
+    def test_from_points_contains_all(self, pts):
+        points = [Point(x, y) for x, y in pts]
+        b = BoundingBox.from_points(points)
+        assert all(b.contains_point(p) for p in points)

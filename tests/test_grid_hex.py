@@ -1,0 +1,172 @@
+"""Unit and property tests for the hexagonal grid (H3 substitute)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geo import BoundingBox, Point
+from repro.grid import HexGrid
+
+coords = st.floats(min_value=-5e4, max_value=5e4, allow_nan=False)
+cells = st.tuples(st.integers(-300, 300), st.integers(-300, 300))
+
+
+@pytest.fixture(scope="module")
+def grid() -> HexGrid:
+    return HexGrid(75.0)
+
+
+class TestGeometry:
+    def test_rejects_nonpositive_edge(self):
+        with pytest.raises(ValueError):
+            HexGrid(0.0)
+
+    def test_cell_area(self, grid):
+        assert grid.cell_area_m2 == pytest.approx(1.5 * math.sqrt(3) * 75.0**2)
+
+    def test_centroid_spacing(self, grid):
+        assert grid.centroid_spacing_m == pytest.approx(math.sqrt(3) * 75.0)
+
+    def test_origin_cell(self, grid):
+        assert grid.cell_of(Point(0, 0)) == (0, 0)
+        c = grid.centroid((0, 0))
+        assert (c.x, c.y) == (0.0, 0.0)
+
+    @given(coords, coords)
+    def test_round_trip_point_within_cell(self, grid, x, y):
+        """A point's cell centroid is never further than the circumradius."""
+        cell = grid.cell_of(Point(x, y))
+        assert grid.centroid(cell).distance_to(Point(x, y)) <= 75.0 + 1e-6
+
+    @given(cells)
+    def test_centroid_maps_back_to_cell(self, grid, cell):
+        assert grid.cell_of(grid.centroid(cell)) == cell
+
+    def test_vertices_are_on_circumcircle(self, grid):
+        c = grid.centroid((3, -2))
+        for v in grid.vertices((3, -2)):
+            assert c.distance_to(v) == pytest.approx(75.0)
+
+
+class TestNeighbors:
+    def test_six_neighbors(self, grid):
+        assert len(grid.neighbors((0, 0))) == 6
+
+    @given(cells)
+    def test_neighbors_equidistant(self, grid, cell):
+        """The paper's argument for hexagons: all 6 neighbours identical."""
+        c = grid.centroid(cell)
+        distances = [c.distance_to(grid.centroid(n)) for n in grid.neighbors(cell)]
+        for d in distances:
+            assert d == pytest.approx(grid.centroid_spacing_m)
+
+    @given(cells)
+    def test_neighbor_symmetry(self, grid, cell):
+        for n in grid.neighbors(cell):
+            assert cell in grid.neighbors(n)
+
+    @given(cells)
+    def test_neighbors_are_one_step(self, grid, cell):
+        for n in grid.neighbors(cell):
+            assert grid.cell_steps(cell, n) == 1
+
+
+class TestCellSteps:
+    def test_identity(self, grid):
+        assert grid.cell_steps((5, -3), (5, -3)) == 0
+
+    @given(cells, cells)
+    def test_symmetric(self, grid, a, b):
+        assert grid.cell_steps(a, b) == grid.cell_steps(b, a)
+
+    @given(cells, cells, cells)
+    def test_triangle_inequality(self, grid, a, b, c):
+        assert grid.cell_steps(a, c) <= grid.cell_steps(a, b) + grid.cell_steps(b, c)
+
+    @given(cells, cells)
+    def test_steps_lower_bounds_metric_distance(self, grid, a, b):
+        """k steps cannot cover more than k * centroid spacing."""
+        metric = grid.cell_distance_m(a, b)
+        steps = grid.cell_steps(a, b)
+        assert metric <= steps * grid.centroid_spacing_m + 1e-6
+
+
+class TestRegionQueries:
+    def test_ring_zero(self, grid):
+        assert grid.ring((2, 2), 0) == {(2, 2)}
+
+    def test_ring_one(self, grid):
+        ring = grid.ring((0, 0), 1)
+        assert len(ring) == 7  # center + 6 neighbours
+
+    def test_ring_two_size(self, grid):
+        # 1 + 6 + 12 cells within two steps of a hexagon.
+        assert len(grid.ring((0, 0), 2)) == 19
+
+    def test_ring_negative_raises(self, grid):
+        with pytest.raises(ValueError):
+            grid.ring((0, 0), -1)
+
+    def test_cells_in_bbox_complete(self, grid):
+        """Brute-force cross-check of the bbox enumeration."""
+        box = BoundingBox(-300, -300, 300, 300)
+        enumerated = set(grid.cells_in_bbox(box))
+        brute = set()
+        for q in range(-10, 11):
+            for r in range(-10, 11):
+                if box.contains_point(grid.centroid((q, r))):
+                    brute.add((q, r))
+        assert enumerated == brute
+
+    def test_cells_in_ellipse_degenerate(self, grid):
+        assert grid.cells_in_ellipse(Point(0, 0), Point(1000, 0), 500.0) == set()
+
+    def test_cells_in_ellipse_members(self, grid):
+        f1, f2 = Point(0, 0), Point(500, 0)
+        cells_found = grid.cells_in_ellipse(f1, f2, 700.0)
+        assert cells_found
+        for cell in cells_found:
+            c = grid.centroid(cell)
+            assert c.distance_to(f1) + c.distance_to(f2) <= 700.0 + 1e-9
+        # The midpoint cell must be inside.
+        assert grid.cell_of(Point(250, 0)) in cells_found
+
+    def test_cells_in_cone_direction(self, grid):
+        cone = grid.cells_in_cone(Point(0, 0), 0.0, math.pi / 4, 500.0)
+        assert cone
+        for cell in cone:
+            c = grid.centroid(cell)
+            assert c.x > 0  # everything east-ish
+        # A cell straight north must not be in an eastward 45-degree cone.
+        north = grid.cell_of(Point(0, 400))
+        assert north not in cone
+
+    def test_cells_in_cone_respects_range(self, grid):
+        cone = grid.cells_in_cone(Point(0, 0), 0.0, math.pi / 4, 300.0)
+        for cell in cone:
+            assert grid.centroid(cell).distance_to(Point(0, 0)) <= 300.0
+
+
+class TestEllipseCompleteness:
+    @given(
+        st.floats(min_value=-500, max_value=500),
+        st.floats(min_value=-500, max_value=500),
+        st.floats(min_value=100, max_value=800),
+    )
+    def test_no_qualifying_cell_missed(self, grid, fx, fy, extra):
+        """cells_in_ellipse must find EVERY cell whose centroid qualifies."""
+        from repro.geo import BoundingBox
+
+        f1 = Point(fx, fy)
+        f2 = Point(fx + 400.0, fy)
+        max_sum = f1.distance_to(f2) + extra
+        found = grid.cells_in_ellipse(f1, f2, max_sum)
+        # Brute force over a generous bounding window.
+        half = max_sum
+        cx, cy = (f1.x + f2.x) / 2, (f1.y + f2.y) / 2
+        window = BoundingBox(cx - half, cy - half, cx + half, cy + half)
+        for cell in grid.cells_in_bbox(window):
+            c = grid.centroid(cell)
+            if c.distance_to(f1) + c.distance_to(f2) <= max_sum:
+                assert cell in found

@@ -1,0 +1,116 @@
+"""Unit and property tests for the square grid (S2 substitute)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geo import BoundingBox, Point
+from repro.grid import HexGrid, SquareGrid
+
+coords = st.floats(min_value=-5e4, max_value=5e4, allow_nan=False)
+cells = st.tuples(st.integers(-300, 300), st.integers(-300, 300))
+
+
+@pytest.fixture(scope="module")
+def grid() -> SquareGrid:
+    return SquareGrid(120.0)
+
+
+class TestGeometry:
+    def test_cell_area(self, grid):
+        assert grid.cell_area_m2 == pytest.approx(120.0**2)
+
+    def test_centroid_spacing(self, grid):
+        assert grid.centroid_spacing_m == 120.0
+
+    def test_cell_of_floor_semantics(self, grid):
+        assert grid.cell_of(Point(0, 0)) == (0, 0)
+        assert grid.cell_of(Point(-0.001, 0)) == (-1, 0)
+        assert grid.cell_of(Point(119.9, 119.9)) == (0, 0)
+        assert grid.cell_of(Point(120.0, 0)) == (1, 0)
+
+    @given(coords, coords)
+    def test_point_within_own_cell(self, grid, x, y):
+        cell = grid.cell_of(Point(x, y))
+        c = grid.centroid(cell)
+        assert abs(c.x - x) <= 60.0 + 1e-6
+        assert abs(c.y - y) <= 60.0 + 1e-6
+
+    @given(cells)
+    def test_centroid_maps_back(self, grid, cell):
+        assert grid.cell_of(grid.centroid(cell)) == cell
+
+
+class TestNeighbors:
+    def test_four_edge_neighbors(self, grid):
+        assert len(grid.neighbors((0, 0))) == 4
+
+    def test_eight_with_corners(self, grid):
+        assert len(grid.neighbors_with_corners((0, 0))) == 8
+
+    def test_neighbor_asymmetry_vs_hexagons(self):
+        """The paper's Fig. 12-III rationale: square neighbours are not
+        uniform — corner neighbours sit sqrt(2) x further away."""
+        square = SquareGrid(100.0)
+        c = square.centroid((0, 0))
+        edge_d = {round(c.distance_to(square.centroid(n)), 6) for n in square.neighbors((0, 0))}
+        corner_d = {
+            round(c.distance_to(square.centroid(n)), 6)
+            for n in square.neighbors_with_corners((0, 0))
+        }
+        assert len(edge_d) == 1
+        assert len(corner_d) == 2  # two distinct distances: edge + corner
+
+        hexes = HexGrid(75.0)
+        hc = hexes.centroid((0, 0))
+        hex_d = {round(hc.distance_to(hexes.centroid(n)), 6) for n in hexes.neighbors((0, 0))}
+        assert len(hex_d) == 1  # hexagons: all six identical
+
+    @given(cells)
+    def test_neighbor_symmetry(self, grid, cell):
+        for n in grid.neighbors(cell):
+            assert cell in grid.neighbors(n)
+
+
+class TestCellSteps:
+    @given(cells, cells)
+    def test_manhattan(self, grid, a, b):
+        assert grid.cell_steps(a, b) == abs(a[0] - b[0]) + abs(a[1] - b[1])
+
+    @given(cells, cells, cells)
+    def test_triangle_inequality(self, grid, a, b, c):
+        assert grid.cell_steps(a, c) <= grid.cell_steps(a, b) + grid.cell_steps(b, c)
+
+
+class TestRegions:
+    def test_cells_in_bbox_complete(self, grid):
+        box = BoundingBox(-400, -400, 400, 400)
+        enumerated = set(grid.cells_in_bbox(box))
+        brute = {
+            (i, j)
+            for i in range(-6, 7)
+            for j in range(-6, 7)
+            if box.contains_point(grid.centroid((i, j)))
+        }
+        assert enumerated == brute
+
+    def test_ellipse_contains_focus_cells(self, grid):
+        f1, f2 = Point(60, 60), Point(660, 60)
+        cells_found = grid.cells_in_ellipse(f1, f2, 900.0)
+        assert grid.cell_of(f1) in cells_found
+        assert grid.cell_of(f2) in cells_found
+
+    def test_cone_half_plane(self, grid):
+        cone = grid.cells_in_cone(Point(60, 60), math.pi / 2, math.pi / 4, 500.0)
+        for cell in cone:
+            assert grid.centroid(cell).y > 60
+
+
+class TestAreaMatching:
+    def test_area_matched_factory(self):
+        square = SquareGrid.area_matched(75.0)
+        hexes = HexGrid(75.0)
+        assert square.cell_area_m2 == pytest.approx(hexes.cell_area_m2, rel=1e-9)
+        # The paper picks 120 m squares for 75 m hexagons.
+        assert square.edge_length_m == pytest.approx(120.9, abs=0.5)

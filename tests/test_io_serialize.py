@@ -1,0 +1,91 @@
+"""Tests for saving/loading a trained KAMEL system."""
+
+import json
+
+import pytest
+
+from repro import Kamel, KamelConfig
+from repro.errors import KamelError, NotFittedError
+from repro.io import load_kamel, save_kamel
+
+
+class TestRoundTrip:
+    @pytest.fixture(scope="class")
+    def saved(self, trained_kamel, tmp_path_factory):
+        directory = tmp_path_factory.mktemp("kamel_model")
+        save_kamel(trained_kamel, directory)
+        return directory
+
+    def test_layout(self, saved):
+        for name in ("config.json", "system.json", "store.json", "detokenizer.json", "manifest.json"):
+            assert (saved / name).exists(), name
+        assert any((saved / "models").iterdir())
+
+    def test_config_restored(self, saved, trained_kamel):
+        restored = load_kamel(saved)
+        assert restored.config == trained_kamel.config
+        assert restored.is_fitted
+
+    def test_vocabulary_restored(self, saved, trained_kamel):
+        restored = load_kamel(saved)
+        assert len(restored.tokenizer.vocabulary) == len(trained_kamel.tokenizer.vocabulary)
+
+    def test_repository_restored(self, saved, trained_kamel):
+        restored = load_kamel(saved)
+        assert restored.repository.num_models == trained_kamel.repository.num_models
+        assert restored.repository.maintained_levels == trained_kamel.repository.maintained_levels
+
+    def test_store_restored(self, saved, trained_kamel):
+        restored = load_kamel(saved)
+        assert len(restored.store) == len(trained_kamel.store)
+        assert restored.store.total_tokens == trained_kamel.store.total_tokens
+
+    def test_imputation_identical_after_round_trip(self, saved, trained_kamel, small_split):
+        _, test = small_split
+        sparse = test[0].sparsify(500.0)
+        restored = load_kamel(saved)
+        original = trained_kamel.impute(sparse)
+        recovered = restored.impute(sparse)
+        assert len(original.trajectory) == len(recovered.trajectory)
+        for a, b in zip(original.trajectory.points, recovered.trajectory.points):
+            assert a.x == pytest.approx(b.x)
+            assert a.y == pytest.approx(b.y)
+        assert original.num_failed == recovered.num_failed
+
+    def test_save_via_method(self, trained_kamel, tmp_path):
+        trained_kamel.save(tmp_path / "via_method")
+        restored = Kamel.load(tmp_path / "via_method")
+        assert restored.is_fitted
+
+
+class TestErrors:
+    def test_save_unfitted_rejected(self, tmp_path):
+        with pytest.raises(NotFittedError):
+            save_kamel(Kamel(), tmp_path)
+
+    def test_version_mismatch_rejected(self, trained_kamel, tmp_path):
+        save_kamel(trained_kamel, tmp_path)
+        payload = json.loads((tmp_path / "config.json").read_text())
+        payload["version"] = 999
+        (tmp_path / "config.json").write_text(json.dumps(payload))
+        with pytest.raises(KamelError):
+            load_kamel(tmp_path)
+
+
+class TestBertPersistence:
+    def test_bert_backend_round_trip(self, small_split, tmp_path):
+        train, test = small_split
+        config = KamelConfig(
+            model_backend="bert",
+            bert_epochs=8,
+            use_partitioning=False,
+            max_model_calls=200,
+        )
+        system = Kamel(config).fit(train[:20])
+        save_kamel(system, tmp_path)
+        restored = load_kamel(tmp_path)
+        assert restored._global_model is not None
+        sparse = test[0].sparsify(500.0)
+        original = system.impute(sparse)
+        recovered = restored.impute(sparse)
+        assert len(original.trajectory) == len(recovered.trajectory)

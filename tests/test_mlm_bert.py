@@ -1,0 +1,171 @@
+"""Tests for the numpy BERT masked LM."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, NotFittedError
+from repro.mlm import BertConfig, BertMaskedLM, BertModel, TrainingConfig
+from repro.mlm.bert import _mask_batch
+
+
+def tiny_config(**overrides) -> BertConfig:
+    defaults = dict(vocab_size=24, hidden_size=16, num_layers=1, num_heads=2, max_seq_len=12)
+    defaults.update(overrides)
+    return BertConfig(**defaults)
+
+
+def corridor_corpus(n=100, seed=0):
+    """Sequences walking a token corridor 3..22 (forward and backward)."""
+    rng = np.random.default_rng(seed)
+    seqs = []
+    for _ in range(n):
+        start = int(rng.integers(3, 17))
+        run = list(range(start, min(start + 6, 23)))
+        seqs.append(run if rng.random() < 0.5 else run[::-1])
+    return seqs
+
+
+class TestConfig:
+    def test_vocab_too_small(self):
+        with pytest.raises(ConfigError):
+            BertConfig(vocab_size=3)
+
+    def test_heads_must_divide_hidden(self):
+        with pytest.raises(ConfigError):
+            BertConfig(vocab_size=10, hidden_size=10, num_heads=3)
+
+    def test_ffn_defaults_to_4x(self):
+        assert tiny_config().ffn_size == 64
+
+    def test_layer_count_validation(self):
+        with pytest.raises(ConfigError):
+            BertConfig(vocab_size=10, num_layers=0)
+
+
+class TestModelForward:
+    def test_logit_shapes(self):
+        model = BertModel(tiny_config())
+        logits = model(np.array([[3, 4, 5], [6, 7, 0]]))
+        assert logits.shape == (2, 3, 24)
+
+    def test_rejects_overlong_sequence(self):
+        model = BertModel(tiny_config(max_seq_len=4))
+        with pytest.raises(ConfigError):
+            model(np.zeros((1, 5), dtype=int))
+
+    def test_padding_does_not_change_other_positions(self):
+        model = BertModel(tiny_config())
+        model.eval()
+        short = model(np.array([[3, 4, 5]])).data
+        padded = model(np.array([[3, 4, 5, 0, 0]])).data
+        np.testing.assert_allclose(short[0, :3], padded[0, :3], atol=1e-8)
+
+    def test_deterministic_in_eval_mode(self):
+        model = BertModel(tiny_config())
+        model.eval()
+        ids = np.array([[3, 4, 5, 6]])
+        np.testing.assert_allclose(model(ids).data, model(ids).data)
+
+    def test_parameter_count_positive(self):
+        assert BertModel(tiny_config()).num_parameters() > 1000
+
+
+class TestMasking:
+    def test_mask_batch_targets(self):
+        rng = np.random.default_rng(0)
+        batch = np.tile(np.arange(3, 11), (8, 1))
+        inputs, targets = _mask_batch(batch, 0.15, 24, rng)
+        chosen = targets != -100
+        assert chosen.any()
+        # Targets carry original tokens at the chosen positions.
+        np.testing.assert_array_equal(targets[chosen], batch[chosen])
+        # Unchosen positions are untouched in the input.
+        np.testing.assert_array_equal(inputs[~chosen], batch[~chosen])
+
+    def test_specials_never_masked(self):
+        rng = np.random.default_rng(0)
+        batch = np.zeros((4, 6), dtype=np.int64)  # all PAD
+        batch[:, 0] = 5
+        inputs, targets = _mask_batch(batch, 0.9, 24, rng)
+        assert (targets[:, 1:] == -100).all()
+
+    def test_every_row_gets_a_mask(self):
+        rng = np.random.default_rng(0)
+        batch = np.tile(np.arange(3, 9), (16, 1))
+        _, targets = _mask_batch(batch, 0.01, 24, rng)  # tiny prob
+        assert ((targets != -100).sum(axis=1) >= 1).all()
+
+    def test_mask_ratio_roughly_respected(self):
+        rng = np.random.default_rng(0)
+        batch = np.tile(np.arange(3, 23), (200, 1))
+        _, targets = _mask_batch(batch, 0.15, 24, rng)
+        ratio = (targets != -100).mean()
+        assert 0.10 < ratio < 0.20
+
+
+class TestTraining:
+    @pytest.fixture(scope="class")
+    def trained(self):
+        model = BertMaskedLM(
+            tiny_config(hidden_size=32, num_layers=2),
+            TrainingConfig(epochs=40, batch_size=16, lr=3e-3, seed=1),
+        )
+        model.fit(corridor_corpus(), vocab_size=24)
+        return model
+
+    def test_loss_decreases(self, trained):
+        history = trained.loss_history
+        assert history[-1] < history[0] * 0.6
+
+    def test_is_fitted(self, trained):
+        assert trained.is_fitted
+        assert trained.num_training_tokens > 0
+
+    def test_predict_before_fit_raises(self):
+        model = BertMaskedLM(tiny_config())
+        with pytest.raises(NotFittedError):
+            model.predict_masked([3, 4, 5], 1)
+
+    def test_prediction_learns_corridor(self, trained):
+        """Between 7 and 9 the only token ever observed is 8."""
+        predictions = trained.predict_masked([6, 7, 0, 9, 10], 2, top_k=3)
+        assert predictions[0][0] == 8
+
+    def test_probabilities_valid(self, trained):
+        predictions = trained.predict_masked([7, 0, 9], 1, top_k=10)
+        probs = [p for _, p in predictions]
+        assert probs == sorted(probs, reverse=True)
+        assert all(0 < p <= 1 for p in probs)
+        assert sum(p for _, p in predictions) <= 1.0 + 1e-9
+
+    def test_no_special_tokens_proposed(self, trained):
+        predictions = trained.predict_masked([7, 0, 9], 1, top_k=24)
+        assert all(token >= 3 for token, _ in predictions)
+
+    def test_long_sequence_window_clipped(self, trained):
+        tokens = list(range(3, 23)) * 2  # longer than max_seq_len
+        predictions = trained.predict_masked(tokens, 20, top_k=3)
+        assert predictions
+
+    def test_max_steps_stops_early(self):
+        model = BertMaskedLM(
+            tiny_config(), TrainingConfig(epochs=100, max_steps=3, seed=0)
+        )
+        model.fit(corridor_corpus(20), vocab_size=24)
+        assert len(model.loss_history) == 3
+
+    def test_deferred_config_built_at_fit(self):
+        model = BertMaskedLM(training=TrainingConfig(epochs=1, max_steps=2))
+        model.fit(corridor_corpus(10), vocab_size=24)
+        assert model.model is not None
+        assert model.model.config.vocab_size == 24
+
+    def test_vocab_overflow_rejected(self):
+        model = BertMaskedLM(tiny_config(vocab_size=10))
+        with pytest.raises(ConfigError):
+            model.fit(corridor_corpus(5), vocab_size=50)
+
+    def test_empty_training_data(self):
+        model = BertMaskedLM(tiny_config(), TrainingConfig(epochs=1))
+        model.fit([], vocab_size=24)
+        assert not model.is_fitted

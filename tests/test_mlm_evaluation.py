@@ -1,0 +1,64 @@
+"""Tests for the masked-model evaluation utilities."""
+
+import pytest
+
+from repro.errors import EmptyInputError
+from repro.mlm import CountingMaskedLM, evaluate_masked_model
+
+CORRIDOR = [[3, 4, 5, 6, 7, 8]] * 20
+VOCAB = 16
+
+
+@pytest.fixture(scope="module")
+def model():
+    return CountingMaskedLM().fit(CORRIDOR, VOCAB)
+
+
+class TestEvaluateMaskedModel:
+    def test_perfect_on_training_pattern(self, model):
+        result = evaluate_masked_model(model, CORRIDOR[:3], top_k=5)
+        assert result.top1_accuracy == 1.0
+        assert result.topk_accuracy == 1.0
+        assert result.num_predictions == 12  # 3 sequences x 4 interior slots
+
+    def test_random_sequences_score_poorly(self, model):
+        garbage = [[8, 3, 6, 4, 7, 5]] * 3
+        result = evaluate_masked_model(model, garbage, top_k=3)
+        assert result.top1_accuracy < 0.5
+
+    def test_perplexity_ordering(self, model):
+        good = evaluate_masked_model(model, CORRIDOR[:3], top_k=10)
+        bad = evaluate_masked_model(model, [[8, 3, 6, 4, 7, 5]] * 3, top_k=10)
+        assert good.pseudo_perplexity < bad.pseudo_perplexity
+
+    def test_subsampling_caps_work(self, model):
+        result = evaluate_masked_model(
+            model, CORRIDOR, top_k=3, max_predictions=10, seed=1
+        )
+        assert result.num_predictions == 10
+
+    def test_subsampling_deterministic(self, model):
+        a = evaluate_masked_model(model, CORRIDOR, max_predictions=10, seed=2)
+        b = evaluate_masked_model(model, CORRIDOR, max_predictions=10, seed=2)
+        assert a == b
+
+    def test_no_maskable_positions(self, model):
+        with pytest.raises(EmptyInputError):
+            evaluate_masked_model(model, [[3, 4]])
+
+    def test_validation(self, model):
+        with pytest.raises(ValueError):
+            evaluate_masked_model(model, CORRIDOR, top_k=0)
+        with pytest.raises(ValueError):
+            evaluate_masked_model(model, CORRIDOR, floor_probability=2.0)
+
+    def test_bert_backend_compatible(self):
+        from repro.mlm import BertConfig, BertMaskedLM, TrainingConfig
+
+        bert = BertMaskedLM(
+            BertConfig(vocab_size=VOCAB, hidden_size=16, num_layers=1, num_heads=2, max_seq_len=8),
+            TrainingConfig(epochs=5, seed=0),
+        ).fit(CORRIDOR, VOCAB)
+        result = evaluate_masked_model(bert, CORRIDOR[:2], top_k=5)
+        assert 0.0 <= result.top1_accuracy <= 1.0
+        assert result.pseudo_perplexity > 0.0

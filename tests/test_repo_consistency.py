@@ -1,0 +1,139 @@
+"""Repository-level consistency: docs, benchmarks, and registry agree."""
+
+import pathlib
+import re
+
+import pytest
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+class TestFigureRegistry:
+    def test_every_registered_figure_has_a_benchmark(self):
+        from repro.eval.figures import ALL_FIGURES
+
+        bench_sources = "\n".join(
+            p.read_text() for p in (ROOT / "benchmarks").glob("bench_*.py")
+        )
+        for name, fn in ALL_FIGURES.items():
+            assert fn.__name__ in bench_sources, (
+                f"figure {name} ({fn.__name__}) has no benchmark invoking it"
+            )
+
+    def test_registry_names_are_cli_safe(self):
+        from repro.eval.figures import ALL_FIGURES
+
+        for name in ALL_FIGURES:
+            assert re.fullmatch(r"[a-z0-9-]+", name), name
+
+
+class TestDocs:
+    def test_readme_lists_every_benchmark(self):
+        readme = (ROOT / "README.md").read_text()
+        for bench in sorted((ROOT / "benchmarks").glob("bench_*.py")):
+            assert bench.name in readme, f"{bench.name} missing from README"
+
+    def test_readme_lists_every_example(self):
+        readme = (ROOT / "README.md").read_text()
+        for example in sorted((ROOT / "examples").glob("*.py")):
+            assert example.name in readme, f"{example.name} missing from README"
+
+    def test_design_md_mentions_every_subpackage(self):
+        design = (ROOT / "DESIGN.md").read_text()
+        src = ROOT / "src" / "repro"
+        for package in sorted(p.name for p in src.iterdir() if p.is_dir()):
+            if package.startswith("__"):
+                continue
+            assert f"repro.{package}" in design, (
+                f"subpackage repro.{package} missing from DESIGN.md inventory"
+            )
+
+    def test_experiments_md_covers_every_paper_figure(self):
+        experiments = (ROOT / "EXPERIMENTS.md").read_text()
+        for heading in (
+            "Figure 9",
+            "Figure 10",
+            "Figure 11",
+            "Figure 12-I",
+            "Figure 12-III",
+            "Figure 12-IV",
+            "Figure 12-V",
+            "Figure 12-VI",
+            "Figure 3(d)",
+        ):
+            assert heading in experiments, f"{heading} missing from EXPERIMENTS.md"
+
+
+class TestPackageHygiene:
+    def test_all_subpackages_importable(self):
+        import importlib
+
+        src = ROOT / "src" / "repro"
+        for package in sorted(p.name for p in src.iterdir() if p.is_dir()):
+            if package.startswith("__"):
+                continue
+            importlib.import_module(f"repro.{package}")
+
+    def test_public_all_exports_resolve(self):
+        import importlib
+
+        for module_name in (
+            "repro",
+            "repro.geo",
+            "repro.grid",
+            "repro.mlm",
+            "repro.nn",
+            "repro.core",
+            "repro.eval",
+            "repro.baselines",
+            "repro.roadnet",
+            "repro.preprocess",
+            "repro.mapinference",
+            "repro.io",
+            "repro.viz",
+            "repro.cluster",
+        ):
+            module = importlib.import_module(module_name)
+            for name in getattr(module, "__all__", []):
+                assert hasattr(module, name), f"{module_name}.{name} missing"
+
+    def test_examples_compile(self):
+        import py_compile
+
+        for example in sorted((ROOT / "examples").glob("*.py")):
+            py_compile.compile(str(example), doraise=True)
+
+    def test_version_consistent(self):
+        import repro
+
+        pyproject = (ROOT / "pyproject.toml").read_text()
+        assert f'version = "{repro.__version__}"' in pyproject
+
+
+class TestPaperMapping:
+    def test_every_referenced_module_exists(self):
+        import importlib
+
+        mapping = (ROOT / "docs" / "paper_mapping.md").read_text()
+        modules = set(re.findall(r"(repro(?:\.[A-Za-z_]+)+)", mapping))
+        assert len(modules) >= 20
+        for dotted in sorted(modules):
+            # Resolve as module, or as attribute of the parent module.
+            try:
+                importlib.import_module(dotted)
+                continue
+            except ImportError:
+                pass
+            parent, _, attr = dotted.rpartition(".")
+            module = importlib.import_module(parent)
+            assert hasattr(module, attr), f"{dotted} referenced but missing"
+
+    def test_every_referenced_bench_exists(self):
+        mapping = (ROOT / "docs" / "paper_mapping.md").read_text()
+        for bench in set(re.findall(r"benchmarks/(bench_[a-z0-9_]+\.py)", mapping)):
+            assert (ROOT / "benchmarks" / bench).exists(), bench
+
+    def test_every_referenced_example_exists(self):
+        mapping = (ROOT / "docs" / "paper_mapping.md").read_text()
+        for example in set(re.findall(r"examples/([a-z0-9_]+\.py)", mapping)):
+            assert (ROOT / "examples" / example).exists(), example

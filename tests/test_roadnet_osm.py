@@ -1,0 +1,122 @@
+"""Tests for the OSM XML importer."""
+
+import pytest
+
+from repro.errors import EmptyInputError, KamelError
+from repro.geo import LocalProjection
+from repro.roadnet.osm import DEFAULT_HIGHWAY_TYPES, load_osm_xml
+
+# A tiny hand-written extract: a T-junction of two residential streets,
+# a footpath (filtered out), and a disconnected service stub.
+OSM_FIXTURE = """<?xml version="1.0" encoding="UTF-8"?>
+<osm version="0.6">
+  <node id="1" lat="41.1500" lon="-8.6100"/>
+  <node id="2" lat="41.1510" lon="-8.6100"/>
+  <node id="3" lat="41.1520" lon="-8.6100"/>
+  <node id="4" lat="41.1510" lon="-8.6110"/>
+  <node id="5" lat="41.1600" lon="-8.6200"/>
+  <node id="6" lat="41.1601" lon="-8.6201"/>
+  <node id="7" lat="41.1505" lon="-8.6105"/>
+  <way id="100">
+    <nd ref="1"/><nd ref="2"/><nd ref="3"/>
+    <tag k="highway" v="residential"/>
+    <tag k="name" v="Rua Principal"/>
+  </way>
+  <way id="101">
+    <nd ref="2"/><nd ref="4"/>
+    <tag k="highway" v="residential"/>
+  </way>
+  <way id="102">
+    <nd ref="1"/><nd ref="7"/>
+    <tag k="highway" v="footway"/>
+  </way>
+  <way id="103">
+    <nd ref="5"/><nd ref="6"/>
+    <tag k="highway" v="service"/>
+  </way>
+</osm>
+"""
+
+
+class TestLoadOsm:
+    def test_from_string(self):
+        result = load_osm_xml(OSM_FIXTURE)
+        # Largest component: the T-junction (nodes 1-4); the disconnected
+        # service stub (5-6) is dropped, the footway filtered out.
+        assert result.network.num_nodes == 4
+        assert result.network.num_edges == 3
+
+    def test_from_file(self, tmp_path):
+        path = tmp_path / "extract.osm"
+        path.write_text(OSM_FIXTURE)
+        result = load_osm_xml(path)
+        assert result.network.num_edges == 3
+
+    def test_way_statistics(self):
+        result = load_osm_xml(OSM_FIXTURE)
+        assert result.num_ways == 3  # residential x2 + service
+        assert result.num_skipped_ways == 1  # the footway
+        assert result.highway_counts["residential"] == 2
+
+    def test_highway_filter_customizable(self):
+        result = load_osm_xml(OSM_FIXTURE, highway_types=frozenset({"footway"}))
+        assert result.network.num_edges == 1
+
+    def test_projection_centered_on_data(self):
+        result = load_osm_xml(OSM_FIXTURE)
+        box = result.network.bbox()
+        # The network sits near the projection origin (mean coordinate).
+        assert abs(box.center.x) < 2000 and abs(box.center.y) < 2000
+
+    def test_explicit_projection_respected(self):
+        projection = LocalProjection(41.0, -8.6)
+        result = load_osm_xml(OSM_FIXTURE, projection=projection)
+        assert result.projection is projection
+        # 0.15 degrees of latitude north of the reference ~ 16.7 km.
+        assert result.network.bbox().min_y > 10_000
+
+    def test_edge_lengths_plausible(self):
+        result = load_osm_xml(OSM_FIXTURE)
+        # Node 1 -> 2 spans 0.001 degrees latitude ~ 111 m.
+        length = result.network.edge_length("1", "2")
+        assert length == pytest.approx(111.0, rel=0.05)
+
+    def test_invalid_xml_rejected(self):
+        with pytest.raises(KamelError):
+            load_osm_xml("<osm><node id=")
+
+    def test_no_nodes_rejected(self):
+        with pytest.raises(EmptyInputError):
+            load_osm_xml("<osm/>")
+
+    def test_no_usable_ways_rejected(self):
+        xml = OSM_FIXTURE.replace("highway", "waterway")
+        with pytest.raises(EmptyInputError):
+            load_osm_xml(xml)
+
+    def test_missing_node_refs_skipped(self):
+        xml = OSM_FIXTURE.replace('<nd ref="4"/>', '<nd ref="999"/>')
+        result = load_osm_xml(xml)
+        # Way 101 degenerates to one valid ref and is skipped.
+        assert result.network.num_edges == 2
+
+    def test_default_types_are_car_roads(self):
+        assert "residential" in DEFAULT_HIGHWAY_TYPES
+        assert "footway" not in DEFAULT_HIGHWAY_TYPES
+
+    def test_loaded_network_supports_routing(self):
+        result = load_osm_xml(OSM_FIXTURE)
+        path = result.network.shortest_path("1", "4")
+        assert path == ["1", "2", "4"]
+
+    def test_simulation_over_imported_network(self):
+        """An imported network slots straight into the simulator."""
+        from repro.roadnet import SimulatorConfig, TrajectorySimulator
+
+        result = load_osm_xml(OSM_FIXTURE)
+        sim = TrajectorySimulator(
+            result.network,
+            SimulatorConfig(min_trip_length_m=100.0, seed=0),
+        )
+        traj = sim.simulate_one("osm-trip")
+        assert len(traj) >= 2

@@ -1,0 +1,101 @@
+"""Robustness: malformed and degenerate inputs through the full system."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geo import Point, Trajectory
+
+
+class TestDegenerateInputs:
+    def test_duplicate_consecutive_points(self, trained_kamel):
+        traj = Trajectory(
+            "dup",
+            [
+                Point(100.0, 100.0, t=0.0),
+                Point(100.0, 100.0, t=1.0),
+                Point(700.0, 100.0, t=60.0),
+            ],
+        )
+        result = trained_kamel.impute(traj)
+        assert result.trajectory.points[0] == traj.points[0]
+        assert result.trajectory.points[-1] == traj.points[-1]
+
+    def test_untimed_points(self, trained_kamel):
+        traj = Trajectory("untimed", [Point(100.0, 100.0), Point(800.0, 100.0)])
+        result = trained_kamel.impute(traj)
+        # Constraints fall back to the geometric floor; the system still
+        # produces a dense output (possibly via linear fallback).
+        assert len(result.trajectory) >= 2
+
+    def test_reversed_timestamps(self, trained_kamel):
+        traj = Trajectory(
+            "reversed", [Point(100.0, 100.0, t=100.0), Point(800.0, 100.0, t=0.0)]
+        )
+        result = trained_kamel.impute(traj)
+        assert result.num_segments == 1
+
+    def test_zero_length_trajectory(self, trained_kamel):
+        result = trained_kamel.impute(Trajectory("empty"))
+        assert result.trajectory.is_empty
+        assert result.num_segments == 0
+
+    def test_stationary_trajectory(self, trained_kamel):
+        traj = Trajectory(
+            "parked", [Point(100.0, 100.0, t=float(i)) for i in range(5)]
+        )
+        result = trained_kamel.impute(traj)
+        assert len(result.trajectory) == 5
+        assert result.num_segments == 0
+
+    def test_huge_gap_does_not_hang(self, trained_kamel):
+        traj = Trajectory(
+            "huge", [Point(0.0, 0.0, t=0.0), Point(20_000.0, 0.0, t=2000.0)]
+        )
+        result = trained_kamel.impute(traj)
+        # Way outside any model: a dense linear fallback, flagged failed.
+        assert result.num_failed == 1
+        assert result.trajectory.max_gap() <= trained_kamel.config.maxgap_m + 1e-6
+
+    def test_negative_coordinates(self, trained_kamel):
+        traj = Trajectory(
+            "negative", [Point(-500.0, -500.0, t=0.0), Point(-1200.0, -500.0, t=70.0)]
+        )
+        result = trained_kamel.impute(traj)
+        assert result.num_segments == 1
+
+
+class TestSystemProperties:
+    """Hypothesis-driven invariants of the full impute() path."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        index=st.integers(min_value=0, max_value=9),
+        sparseness=st.floats(min_value=300.0, max_value=900.0),
+    )
+    def test_invariants_hold_for_any_test_trajectory(
+        self, trained_kamel, small_split, index, sparseness
+    ):
+        _, test = small_split
+        truth = test[index % len(test)]
+        sparse = truth.sparsify(sparseness)
+        result = trained_kamel.impute(sparse)
+
+        out = result.trajectory.points
+        # 1. Endpoints preserved.
+        assert out[0] == sparse.points[0]
+        assert out[-1] == sparse.points[-1]
+        # 2. Every sparse anchor appears, in order.
+        iterator = iter(out)
+        assert all(p in iterator for p in sparse.points)
+        # 3. No remaining gap beyond the effective threshold.
+        threshold = max(
+            trained_kamel.config.maxgap_m,
+            (trained_kamel.gap_threshold_m or 0.0),
+            trained_kamel.tokenizer.grid.centroid_spacing_m,
+        )
+        assert result.trajectory.max_gap() <= 2.2 * threshold
+        # 4. Timestamps non-decreasing wherever present.
+        times = [p.t for p in out if p.t is not None]
+        assert all(a <= b + 1e-9 for a, b in zip(times, times[1:]))
+        # 5. Bookkeeping consistent.
+        assert 0 <= result.num_failed <= result.num_segments

@@ -1,0 +1,125 @@
+"""Tests for the online imputation service."""
+
+import pytest
+
+from repro import Kamel
+from repro.core.streaming import StreamingConfig, StreamingImputationService
+from repro.errors import NotFittedError
+from repro.geo import Point, Trajectory
+
+
+@pytest.fixture()
+def service(trained_kamel):
+    return StreamingImputationService(trained_kamel, StreamingConfig())
+
+
+class TestConstruction:
+    def test_requires_fitted_system(self):
+        with pytest.raises(NotFittedError):
+            StreamingImputationService(Kamel())
+
+
+class TestHotPath:
+    def test_process_counts(self, service, small_split):
+        _, test = small_split
+        sparse = test[0].sparsify(500.0)
+        results = service.process(sparse)
+        assert len(results) >= 1
+        assert service.stats.trajectories_in == 1
+        assert service.stats.trips_out == len(results)
+        assert service.stats.points_in == len(sparse)
+        assert service.stats.points_out >= len(sparse)
+        assert service.stats.processing_seconds > 0.0
+
+    def test_outlier_removed_before_imputation(self, service, small_split):
+        _, test = small_split
+        base = test[1].sparsify(500.0)
+        corrupted = base.with_points(
+            list(base.points[:1])
+            + [Point(99_999.0, 99_999.0, t=base.points[0].t + 0.1)]
+            + list(base.points[1:])
+        )
+        results = service.process(corrupted)
+        for r in results:
+            assert all(p.x < 50_000 for p in r.trajectory.points)
+
+    def test_time_gap_splits_into_trips(self, service, small_split):
+        _, test = small_split
+        a = test[2].sparsify(500.0)
+        shifted = [p.with_time(p.t + 10_000.0) for p in test[3].sparsify(500.0).points]
+        glued = Trajectory("glued", list(a.points) + shifted)
+        results = service.process(glued)
+        assert len(results) == 2
+
+    def test_process_stream_lazy(self, service, small_split):
+        _, test = small_split
+        feed = (t.sparsify(500.0) for t in test[:3])
+        stream = service.process_stream(feed)
+        first = next(stream)
+        assert first is not None
+        assert service.stats.trajectories_in == 1
+
+    def test_stats_properties(self, service, small_split):
+        _, test = small_split
+        for t in test[:3]:
+            service.process(t.sparsify(500.0))
+        stats = service.stats
+        assert 0.0 <= stats.failure_rate <= 1.0
+        assert stats.densification_ratio >= 1.0
+        assert stats.mean_latency_ms > 0.0
+
+    def test_empty_stats(self, trained_kamel):
+        fresh = StreamingImputationService(trained_kamel)
+        assert fresh.stats.failure_rate == 0.0
+        assert fresh.stats.densification_ratio == 0.0
+        assert fresh.stats.mean_latency_ms == 0.0
+
+    def test_smoothing_mode(self, trained_kamel, small_split):
+        _, test = small_split
+        service = StreamingImputationService(
+            trained_kamel, StreamingConfig(smooth=True)
+        )
+        results = service.process(test[0].sparsify(500.0))
+        assert results
+
+
+class TestOfflineEnrichment:
+    @pytest.fixture()
+    def local_service(self, small_split):
+        # A private system: flush_training mutates it, and the session-wide
+        # trained_kamel fixture must stay untouched.
+        train, _ = small_split
+        system = Kamel().fit(train[:15])
+        return system, train
+
+    def test_enqueue_flushes_at_batch_size(self, local_service):
+        system, train = local_service
+        service = StreamingImputationService(
+            system, StreamingConfig(training_batch_size=3)
+        )
+        assert not service.enqueue_for_training(train[20])
+        assert not service.enqueue_for_training(train[21])
+        assert service.pending_training == 2
+        flushed = service.enqueue_for_training(train[22])
+        assert flushed
+        assert service.pending_training == 0
+
+    def test_manual_flush(self, local_service):
+        system, train = local_service
+        service = StreamingImputationService(
+            system, StreamingConfig(training_batch_size=100)
+        )
+        service.enqueue_for_training(train[20])
+        assert service.flush_training() == 1
+        assert service.flush_training() == 0
+
+    def test_flush_grows_training_corpus(self, local_service):
+        system, train = local_service
+        before = len(system.store)
+        service = StreamingImputationService(
+            system, StreamingConfig(training_batch_size=100)
+        )
+        for t in train[20:25]:
+            service.enqueue_for_training(t)
+        service.flush_training()
+        assert len(system.store) == before + 5
