@@ -13,9 +13,39 @@ Run with::
 
 from __future__ import annotations
 
+import pathlib
+
 import pytest
 
 from repro.eval.report import render_series
+from repro.obs import get_registry
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--metrics-out",
+        default=None,
+        metavar="DIR",
+        help="dump a BENCH_<module>.json metrics snapshot per benchmark module",
+    )
+
+
+@pytest.fixture(scope="module", autouse=True)
+def bench_metrics_snapshot(request):
+    """Write each module's metrics (BENCH_<module>.json) when requested.
+
+    The registry is reset before every benchmark module either way, so a
+    snapshot holds exactly what that module's figures recorded.
+    """
+    get_registry().reset()
+    yield
+    out_dir = request.config.getoption("--metrics-out")
+    if not out_dir:
+        return
+    directory = pathlib.Path(out_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    name = request.module.__name__.removeprefix("bench_")
+    get_registry().write_json(directory / f"BENCH_{name}.json")
 
 
 def run_once(benchmark, fn, *args, **kwargs):

@@ -7,6 +7,12 @@ Examples::
     kamel figure fig12-ablation --full
     kamel list-figures
     kamel impute --train train.csv --input sparse.csv --output dense.csv
+
+Observability flags (global, before the subcommand)::
+
+    kamel --log-level DEBUG --metrics-out run.json compare --dataset porto
+    kamel --trace figure fig9
+    kamel stats run.json          # summarize a saved metrics snapshot
 """
 
 from __future__ import annotations
@@ -19,6 +25,7 @@ from typing import Optional, Sequence
 from repro.eval.figures import ALL_FIGURES, Scale, jakarta_workload, porto_workload
 from repro.eval.harness import ExperimentRunner
 from repro.eval.report import render_table
+from repro.obs import configure_logging, enable_tracing, finished_spans, get_registry
 
 
 def _cmd_list_figures(_: argparse.Namespace) -> int:
@@ -127,6 +134,71 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _histogram_row(name: str, data: dict) -> list[str]:
+    quantiles = data.get("quantiles") or {}
+
+    def fmt(value) -> str:
+        return f"{value:.6g}" if isinstance(value, (int, float)) else "-"
+
+    return [
+        name,
+        str(data.get("count", 0)),
+        fmt(data.get("mean")),
+        fmt(quantiles.get("p50")),
+        fmt(quantiles.get("p90")),
+        fmt(quantiles.get("p99")),
+        fmt(data.get("max")),
+    ]
+
+
+def render_stats(snapshot: dict) -> str:
+    """A two-part summary table for a metrics snapshot (see ``kamel stats``)."""
+    sections: list[str] = []
+    scalars = [
+        [name, f"{data['value']:.6g}", data["type"]]
+        for name, data in sorted(snapshot.items())
+        if data.get("type") in ("counter", "gauge")
+    ]
+    if scalars:
+        sections.append(render_table(["metric", "value", "type"], scalars))
+    histograms = [
+        _histogram_row(name, data)
+        for name, data in sorted(snapshot.items())
+        if data.get("type") == "histogram" and data.get("count")
+    ]
+    if histograms:
+        sections.append(
+            render_table(
+                ["histogram", "count", "mean", "p50", "p90", "p99", "max"], histograms
+            )
+        )
+    if not sections:
+        return "(no metrics recorded)"
+    return "\n\n".join(sections)
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    if args.metrics_json:
+        with open(args.metrics_json) as handle:
+            snapshot = json.load(handle)
+        print(render_stats(snapshot))
+        return 0
+    if args.catalog:
+        from repro.obs import METRIC_CATALOG
+
+        print(
+            render_table(
+                ["metric", "meaning"],
+                [[name, desc] for name, desc in sorted(METRIC_CATALOG.items())],
+            )
+        )
+        return 0
+    # No file: summarize whatever this process recorded (useful when
+    # embedding the CLI; a fresh process has nothing yet).
+    print(render_stats(get_registry().snapshot()))
+    return 0
+
+
 def _cmd_inspect(args: argparse.Namespace) -> int:
     from repro.io import load_kamel
 
@@ -160,6 +232,29 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="kamel",
         description="KAMEL reproduction: trajectory imputation experiments",
+    )
+    parser.add_argument(
+        "--log-level",
+        choices=("DEBUG", "INFO", "WARNING", "ERROR", "CRITICAL"),
+        default=None,
+        help="enable structured logging at this level",
+    )
+    parser.add_argument(
+        "--log-format",
+        choices=("kv", "json"),
+        default="kv",
+        help="structured log line format (default: key=value)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="write the metrics-registry JSON snapshot here on exit",
+    )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="collect span trees and print them to stderr on exit",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -203,12 +298,35 @@ def build_parser() -> argparse.ArgumentParser:
     p_ins = sub.add_parser("inspect", help="summarize a saved model directory")
     p_ins.add_argument("model_dir", help="directory written by Kamel.save()")
     p_ins.set_defaults(func=_cmd_inspect)
+
+    p_sts = sub.add_parser(
+        "stats", help="summarize a metrics snapshot (from --metrics-out)"
+    )
+    p_sts.add_argument(
+        "metrics_json", nargs="?", help="snapshot file; omit for this process's registry"
+    )
+    p_sts.add_argument(
+        "--catalog", action="store_true", help="list every known metric and its meaning"
+    )
+    p_sts.set_defaults(func=_cmd_stats)
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    if args.log_level:
+        configure_logging(level=args.log_level, fmt=args.log_format)
+    if args.trace:
+        enable_tracing()
+    try:
+        return args.func(args)
+    finally:
+        if args.metrics_out:
+            get_registry().write_json(args.metrics_out)
+            print(f"wrote metrics snapshot to {args.metrics_out}", file=sys.stderr)
+        if args.trace:
+            for root in finished_spans():
+                print(root.render(), file=sys.stderr)
 
 
 if __name__ == "__main__":

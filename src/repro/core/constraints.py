@@ -23,6 +23,7 @@ from repro.core.tokenization import Tokenizer
 from repro.geo import Point
 from repro.geo.point import angle_difference
 from repro.mlm.base import TokenProb
+from repro.obs import instrument as obs
 
 
 @dataclass(frozen=True)
@@ -68,6 +69,25 @@ def creates_cycle(tokens: Sequence[int], insert_pos: int, candidate: int, window
             if first == second:
                 return True
     return False
+
+
+_REJECTION_COUNTERS = (
+    "special",
+    "speed_ellipse",
+    "local_detour",
+    "length_budget",
+    "direction_cone",
+    "cycle",
+)
+
+
+def _record_filter(n_in: int, n_out: int, rejected: dict[str, int]) -> None:
+    """Flush one filter call's tallies into the metrics registry."""
+    obs.count("repro.constraints.candidates_in_total", n_in)
+    obs.count("repro.constraints.candidates_out_total", n_out)
+    for reason, n in rejected.items():
+        if n:
+            obs.count(f"repro.constraints.rejected.{reason}_total", n)
 
 
 class SpatialConstraints:
@@ -174,14 +194,21 @@ class SpatialConstraints:
         # ellipse and "close" a gap with a physically impossible path.
         length_budget = self.ellipse_distance_sum(ctx)
         current_length = self._segment_length(segment)
+        # Rejections are tallied locally and flushed as one counter update
+        # per filter call, keeping the per-candidate loop free of registry
+        # traffic (this runs once per model call, inside the beam loop).
+        rejected = dict.fromkeys(_REJECTION_COUNTERS, 0)
         out: list[TokenProb] = []
         for token, prob in candidates:
             if vocab.is_special(token):
+                rejected["special"] += 1
                 continue
             if not self.within_speed_ellipse(token, ctx):
+                rejected["speed_ellipse"] += 1
                 continue
             c = self.tokenizer.centroid_of_token(token)
             if c.distance_to(gap_left) + c.distance_to(gap_right) > local_budget:
+                rejected["local_detour"] += 1
                 continue
             new_length = (
                 current_length
@@ -190,12 +217,16 @@ class SpatialConstraints:
                 + c.distance_to(gap_right)
             )
             if new_length > length_budget:
+                rejected["length_budget"] += 1
                 continue
             if self.violates_direction(token, ctx):
+                rejected["direction_cone"] += 1
                 continue
             if creates_cycle(segment, insert_pos, token, self.config.cycle_window):
+                rejected["cycle"] += 1
                 continue
             out.append((token, prob))
+        _record_filter(len(candidates), len(out), rejected)
         return out
 
     def _segment_length(self, segment: Sequence[int]) -> float:
@@ -221,11 +252,15 @@ class PassthroughConstraints(SpatialConstraints):
         insert_pos: int,
     ) -> list[TokenProb]:
         vocab = self.tokenizer.vocabulary
+        rejected = dict.fromkeys(_REJECTION_COUNTERS, 0)
         out: list[TokenProb] = []
         for token, prob in candidates:
             if vocab.is_special(token):
+                rejected["special"] += 1
                 continue
             if creates_cycle(segment, insert_pos, token, 1):
+                rejected["cycle"] += 1
                 continue
             out.append((token, prob))
+        _record_filter(len(candidates), len(out), rejected)
         return out

@@ -24,6 +24,7 @@ from repro.core.tokenization import Tokenizer
 from repro.geo import Point, Trajectory
 from repro.geo.point import angle_difference
 from repro.grid.base import Cell
+from repro.obs import instrument as obs
 
 
 @dataclass(frozen=True)
@@ -148,22 +149,28 @@ class Detokenizer:
         """
         cell = self.tokenizer.cell_of_token(token_id)
         hexagon_centroid = self.tokenizer.grid.centroid(cell)
+        obs.count("repro.detokenization.tokens_total")
         info = self._cells.get(cell)
         if info is None or info.data_centroid is None:
+            obs.count("repro.detokenization.mode.cell_centroid_total")
             return hexagon_centroid
         if not info.clusters:
+            obs.count("repro.detokenization.mode.data_centroid_total")
             return info.data_centroid
         if len(info.clusters) == 1:
+            obs.count("repro.detokenization.mode.single_cluster_total")
             return info.clusters[0].centroid
 
         direction = self._token_direction(hexagon_centroid, incoming_from, outgoing_to)
         if direction is None:
             # No directional context at all: the biggest cluster is the
             # best unconditional guess.
+            obs.count("repro.detokenization.mode.largest_cluster_total")
             return max(info.clusters, key=lambda c: c.size).centroid
         best = min(
             info.clusters, key=lambda c: angle_difference(c.direction, direction)
         )
+        obs.count("repro.detokenization.mode.direction_match_total")
         return best.centroid
 
     @staticmethod

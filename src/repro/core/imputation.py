@@ -30,6 +30,8 @@ from repro.core.config import KamelConfig
 from repro.core.constraints import GapContext, SpatialConstraints
 from repro.core.tokenization import Tokenizer
 from repro.mlm.base import MaskedModel, TokenProb
+from repro.obs import instrument as obs
+from repro.obs.tracing import span
 
 
 @dataclass(frozen=True)
@@ -136,15 +138,52 @@ class SegmentImputer(abc.ABC):
         raw = self.model.predict_masked(tokens, position, top_k=self.config.top_k_candidates)
         return self.constraints.filter(raw, ctx, seg, i)
 
-    @abc.abstractmethod
+    # -- the instrumented front door ---------------------------------------
+
+    strategy_name: str = "unknown"
+    """Short id used in metric names and span attributes."""
+
     def impute_segment(self, ctx: GapContext) -> SegmentImputation:
-        """Fill the gap between ``ctx.source`` and ``ctx.dest``."""
+        """Fill the gap between ``ctx.source`` and ``ctx.dest``.
+
+        Template method: runs the strategy's :meth:`_impute` inside an
+        ``impute.segment`` span and records the per-segment metrics
+        (strategy, model calls, budget consumption, failure) so every
+        strategy is measured identically.
+        """
+        budget = self._call_budget(ctx)
+        with span("impute.segment", strategy=self.strategy_name) as sp:
+            result = self._impute(ctx)
+            sp.set(
+                model_calls=result.model_calls,
+                budget=budget,
+                failed=result.failed,
+            )
+        obs.count("repro.imputation.segments_total")
+        obs.count(f"repro.imputation.{self.strategy_name}.segments_total")
+        obs.observe("repro.imputation.calls_per_segment", result.model_calls)
+        if budget > 0:
+            obs.observe(
+                "repro.imputation.budget_consumed_ratio",
+                min(1.0, result.model_calls / budget),
+            )
+        if result.failed:
+            obs.count("repro.imputation.failures_total")
+            if result.model_calls >= budget:
+                obs.count("repro.imputation.budget_exhausted_total")
+        return result
+
+    @abc.abstractmethod
+    def _impute(self, ctx: GapContext) -> SegmentImputation:
+        """The strategy body (metrics and spans handled by the caller)."""
 
 
 class IterativeImputer(SegmentImputer):
     """Algorithm 1: iterative greedy BERT calling."""
 
-    def impute_segment(self, ctx: GapContext) -> SegmentImputation:
+    strategy_name = "iterative"
+
+    def _impute(self, ctx: GapContext) -> SegmentImputation:
         seg: list[int] = [ctx.source, ctx.dest]
         calls = 0
         probability = 1.0
@@ -179,11 +218,13 @@ class _Beam:
 class BeamSearchImputer(SegmentImputer):
     """Algorithm 2: bidirectional beam search with length normalization."""
 
+    strategy_name = "beam"
+
     def _normalized(self, seg: Sequence[int], prob: float) -> float:
         interior = max(1, len(seg) - 2)
         return prob * interior**self.config.length_norm_alpha
 
-    def impute_segment(self, ctx: GapContext) -> SegmentImputation:
+    def _impute(self, ctx: GapContext) -> SegmentImputation:
         cfg = self.config
         initial = (ctx.source, ctx.dest)
         first_gap = self.find_first_gap(initial)
@@ -253,7 +294,9 @@ class SinglePointImputer(SegmentImputer):
     recall drops because most of the gap is simply left unfilled).
     """
 
-    def impute_segment(self, ctx: GapContext) -> SegmentImputation:
+    strategy_name = "single_point"
+
+    def _impute(self, ctx: GapContext) -> SegmentImputation:
         seg = (ctx.source, ctx.dest)
         if self.find_first_gap(seg) is None:
             return SegmentImputation((), 0, confidence=1.0)

@@ -35,6 +35,11 @@ from repro.geo import BoundingBox, Point, Trajectory, interpolate
 from repro.mlm.base import MaskedModel
 from repro.mlm.bert import BertMaskedLM, TrainingConfig
 from repro.mlm.counting import CountingMaskedLM
+from repro.obs import instrument as obs
+from repro.obs.logging import get_logger
+from repro.obs.tracing import span
+
+_log = get_logger("core.kamel")
 
 
 def infer_max_speed(trajectories: Iterable[Trajectory], percentile: float = 95.0) -> float:
@@ -97,15 +102,26 @@ class Kamel(Imputer):
         if not trajectories:
             raise EmptyInputError("Kamel.fit needs at least one training trajectory")
         cfg = self.config
-        cell_edge = cfg.cell_edge_m
-        if cfg.auto_tune_cell_size:
-            from repro.core.tuning import tune_cell_size  # avoid import cycle
+        with span("kamel.fit", trajectories=len(trajectories), backend=cfg.model_backend):
+            with obs.stopwatch("repro.kamel.fit_seconds"):
+                cell_edge = cfg.cell_edge_m
+                if cfg.auto_tune_cell_size:
+                    from repro.core.tuning import tune_cell_size  # avoid import cycle
 
-            cell_edge = tune_cell_size(list(trajectories), cfg)
-        self._build_components(cell_edge)
-        self._training_trajectories = []
-        self._fitted = True
-        self.add_training(trajectories)
+                    cell_edge = tune_cell_size(list(trajectories), cfg)
+                self._build_components(cell_edge)
+                self._training_trajectories = []
+                self._fitted = True
+                self.add_training(trajectories)
+        _log.info(
+            "fit complete",
+            extra={"data": {
+                "trajectories": len(trajectories),
+                "cell_edge_m": self.tokenizer.grid.edge_length_m,
+                "vocabulary": len(self.tokenizer.vocabulary),
+                "models": self.repository.num_models if self.repository else 0,
+            }},
+        )
         return self
 
     def add_training(self, trajectories: Sequence[Trajectory]) -> None:
@@ -116,6 +132,7 @@ class Kamel(Imputer):
         trajectories = [t for t in trajectories if len(t) >= 2]
         if not trajectories:
             return
+        obs.count("repro.kamel.training_trajectories_total", len(trajectories))
         self._training_trajectories.extend(trajectories)
 
         cfg = self.config
@@ -195,6 +212,27 @@ class Kamel(Imputer):
         if len(points) < 2:
             return ImputationResult(trajectory, ())
 
+        with span("impute.trajectory", points=len(points)) as sp:
+            with obs.stopwatch("repro.kamel.impute_seconds"):
+                result = self._impute_points(trajectory, points, cfg)
+            sp.set(
+                segments=result.num_segments,
+                failed=result.num_failed,
+                model_calls=result.total_model_calls,
+            )
+        obs.count("repro.kamel.trajectories_total")
+        obs.count("repro.kamel.segments_total", len(points) - 1)
+        obs.count("repro.kamel.segments_imputed_total", result.num_segments)
+        obs.count("repro.kamel.segments_failed_total", result.num_failed)
+        obs.count("repro.kamel.model_calls_total", result.total_model_calls)
+        imputed = obs.counter("repro.kamel.segments_imputed_total").value
+        failed = obs.counter("repro.kamel.segments_failed_total").value
+        obs.gauge("repro.kamel.failure_rate").set(failed / imputed if imputed else 0.0)
+        return result
+
+    def _impute_points(
+        self, trajectory: Trajectory, points: Sequence[Point], cfg: KamelConfig
+    ) -> ImputationResult:
         # Per Section 4.1: pick the model for the whole trajectory first;
         # segments it does not cover fall back to per-segment retrieval
         # (the paper's "split into sub-trajectories").
@@ -214,6 +252,16 @@ class Kamel(Imputer):
             interior, outcome = self._impute_segment(
                 i, a, b, prev_pt, next_pt, trajectory_model, reference_speed
             )
+            if outcome.failed:
+                _log.warning(
+                    "segment fell back to the linear line",
+                    extra={"data": {
+                        "trajectory": trajectory.traj_id,
+                        "segment": i,
+                        "gap_m": round(a.distance_to(b), 1),
+                        "model_calls": outcome.model_calls,
+                    }},
+                )
             out_points.extend(interior)
             out_points.append(b)
             outcomes.append(outcome)
@@ -237,20 +285,21 @@ class Kamel(Imputer):
         cfg = self.config
         vocab = self.tokenizer.vocabulary
 
-        def fail(calls: int = 0) -> tuple[list[Point], SegmentOutcome]:
+        def fail(reason: str, calls: int = 0) -> tuple[list[Point], SegmentOutcome]:
+            obs.count(f"repro.kamel.fallback.{reason}_total")
             interior = _linear_interior(a, b, cfg.maxgap_m)
             return interior, SegmentOutcome(index, True, calls, len(interior))
 
         source = self.tokenizer.token_for_point(a)
         dest = self.tokenizer.token_for_point(b)
         if vocab.is_special(source) or vocab.is_special(dest):
-            return fail()
+            return fail("endpoint_unseen")
 
         model = trajectory_model
         if model is None:
             model = self._model_for_box(BoundingBox.from_points([a, b]))
         if model is None or not model.is_fitted:
-            return fail()
+            return fail("no_model")
 
         prev_token = None
         if prev_pt is not None:
@@ -277,7 +326,7 @@ class Kamel(Imputer):
         )
         result: SegmentImputation = imputer.impute_segment(ctx)
         if result.failed:
-            return fail(result.model_calls)
+            return fail("search_failed", result.model_calls)
 
         interior_points = self.detokenizer.detokenize_interior(
             result.interior or (), a, b

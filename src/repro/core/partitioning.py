@@ -28,6 +28,11 @@ from repro.core.tokenization import Tokenizer, TokenSequence
 from repro.errors import ModelRepositoryError
 from repro.geo import BoundingBox, Point
 from repro.mlm.base import MaskedModel
+from repro.obs import instrument as obs
+from repro.obs.logging import get_logger
+from repro.obs.tracing import span
+
+_log = get_logger("core.partitioning")
 
 CellKey = tuple[int, int, int]
 """(level, i, j): cell j-th row, i-th column of the 2**level split."""
@@ -287,6 +292,14 @@ class ModelRepository:
         for key in touched:
             self._maybe_build_single(key)
             self._maybe_build_neighbors(key)
+        _log.debug(
+            "maintenance pass",
+            extra={"data": {
+                "sequences": len(sequences),
+                "touched_cells": len(touched),
+                "models": self.num_models,
+            }},
+        )
 
     def _batch_centroid(self, sequences: list[TokenSequence]) -> Point:
         boxes = [self.tokenizer.sequence_bbox(s) for s in sequences]
@@ -312,7 +325,10 @@ class ModelRepository:
         if not sequences:
             return None
         model = self.model_factory()
-        model.fit([s.tokens for s in sequences], len(self.tokenizer.vocabulary))
+        with span("repository.build_model", sequences=len(sequences)):
+            with obs.stopwatch("repro.partitioning.model_build_seconds"):
+                model.fit([s.tokens for s in sequences], len(self.tokenizer.vocabulary))
+        obs.count("repro.partitioning.model_builds_total")
         return model, sum(len(s) for s in sequences)
 
     def _maybe_build_single(self, key: CellKey) -> None:
@@ -359,16 +375,26 @@ class ModelRepository:
 
     def retrieve(self, box: BoundingBox) -> Optional[StoredModel]:
         """The model of the smallest cell or neighbor pair enclosing ``box``."""
+        obs.count("repro.partitioning.lookup_total")
         if self.pyramid is None:
+            obs.count("repro.partitioning.lookup_miss_total")
             return None
         for level in sorted(self.maintained_levels, reverse=True):
             cell = self.pyramid.cell_containing_bbox(box, level)
             if cell is not None and cell in self._single:
+                self._record_hit("single", level)
                 return self._single[cell]
             pair = self.pyramid.pair_containing_bbox(box, level)
             if pair is not None and pair in self._neighbor:
+                self._record_hit("neighbor", level)
                 return self._neighbor[pair]
+        obs.count("repro.partitioning.lookup_miss_total")
         return None
+
+    @staticmethod
+    def _record_hit(kind: str, level: int) -> None:
+        obs.count(f"repro.partitioning.lookup_hit.{kind}_total")
+        obs.observe("repro.partitioning.lookup_hit_level", level)
 
     def any_model(self) -> Optional[StoredModel]:
         """Some model, preferring the broadest single-cell one (fallback)."""

@@ -12,7 +12,6 @@ fed back as training data in periodic offline batches via
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Optional
 
@@ -20,7 +19,12 @@ from repro.core.kamel import Kamel
 from repro.core.result import ImputationResult
 from repro.errors import NotFittedError
 from repro.geo import Trajectory
+from repro.obs import instrument as obs
+from repro.obs.logging import get_logger
+from repro.obs.tracing import span
 from repro.preprocess import KalmanSmoother, remove_outliers, split_by_time_gap
+
+_log = get_logger("core.streaming")
 
 
 @dataclass
@@ -96,20 +100,33 @@ class StreamingImputationService:
         return split_by_time_gap(cleaned, cfg.trip_gap_s, cfg.min_trip_points)
 
     def process(self, trajectory: Trajectory) -> list[ImputationResult]:
-        """Impute one incoming trajectory (possibly several trips)."""
-        start = time.perf_counter()
-        self.stats.trajectories_in += 1
-        self.stats.points_in += len(trajectory)
-        results = []
-        for trip in self._clean(trajectory):
-            result = self.system.impute(trip)
-            results.append(result)
-            self.stats.trips_out += 1
-            self.stats.points_out += len(result.trajectory)
-            self.stats.segments += result.num_segments
-            self.stats.failed_segments += result.num_failed
-            self.stats.model_calls += result.total_model_calls
-        self.stats.processing_seconds += time.perf_counter() - start
+        """Impute one incoming trajectory (possibly several trips).
+
+        The wall time recorded into ``StreamStats.processing_seconds`` and
+        the ``repro.streaming.process_seconds`` histogram come from the
+        same stopwatch, so the legacy fields and the registry agree.
+        """
+        with span("streaming.process", points=len(trajectory)):
+            with obs.stopwatch("repro.streaming.process_seconds") as sw:
+                self.stats.trajectories_in += 1
+                self.stats.points_in += len(trajectory)
+                results = []
+                for trip in self._clean(trajectory):
+                    result = self.system.impute(trip)
+                    results.append(result)
+                    self.stats.trips_out += 1
+                    self.stats.points_out += len(result.trajectory)
+                    self.stats.segments += result.num_segments
+                    self.stats.failed_segments += result.num_failed
+                    self.stats.model_calls += result.total_model_calls
+        self.stats.processing_seconds += sw.seconds
+        obs.count("repro.streaming.trajectories_in_total")
+        obs.count("repro.streaming.points_in_total", len(trajectory))
+        obs.count("repro.streaming.trips_out_total", len(results))
+        obs.count(
+            "repro.streaming.points_out_total",
+            sum(len(r.trajectory) for r in results),
+        )
         return results
 
     def process_stream(
@@ -140,6 +157,11 @@ class StreamingImputationService:
         batch, self._training_queue = self._training_queue, []
         if batch:
             self.system.add_training(batch)
+            obs.count("repro.streaming.training_flushes_total")
+            _log.info(
+                "offline training batch flushed",
+                extra={"data": {"batch_size": len(batch)}},
+            )
         return len(batch)
 
     @property

@@ -10,7 +10,6 @@ straight or curved and scores each class separately.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, replace
 from typing import Callable, Optional, Sequence
 
@@ -24,6 +23,8 @@ from repro.eval.metrics import (
     point_to_polyline_distance,
 )
 from repro.geo import Point, Trajectory
+from repro.obs import instrument as obs
+from repro.obs.tracing import span
 from repro.roadnet.datasets import Dataset
 
 
@@ -202,10 +203,14 @@ class ExperimentRunner:
         self._imputed: dict[str, tuple[tuple[ImputationResult, ...], float]] = {}
 
     def train(self, name: str, builder: ImputerBuilder) -> tuple[Imputer, float]:
+        """Train (or reuse) a method; its wall time is both returned and
+        recorded into the ``repro.eval.train_seconds`` histogram, so the
+        figure scripts and the metrics snapshot report one measurement."""
         if name not in self._trained:
-            t0 = time.perf_counter()
-            imputer = builder(self.workload)
-            self._trained[name] = (imputer, time.perf_counter() - t0)
+            with span("eval.train", method=name, workload=self.workload.name):
+                with obs.stopwatch("repro.eval.train_seconds") as sw:
+                    imputer = builder(self.workload)
+            self._trained[name] = (imputer, sw.seconds)
         return self._trained[name]
 
     def impute(self, name: str, builder: ImputerBuilder) -> tuple[
@@ -213,9 +218,12 @@ class ExperimentRunner:
     ]:
         if name not in self._imputed:
             imputer, _ = self.train(name, builder)
-            t0 = time.perf_counter()
-            results = tuple(imputer.impute_batch(list(self.workload.test_sparse)))
-            self._imputed[name] = (results, time.perf_counter() - t0)
+            with span("eval.impute", method=name, workload=self.workload.name):
+                with obs.stopwatch("repro.eval.impute_seconds") as sw:
+                    results = tuple(
+                        imputer.impute_batch(list(self.workload.test_sparse))
+                    )
+            self._imputed[name] = (results, sw.seconds)
         return self._imputed[name]
 
     def run(self, name: str, builder: ImputerBuilder) -> MethodScores:

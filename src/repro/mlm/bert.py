@@ -25,6 +25,11 @@ from repro.mlm.base import MaskedModel, TokenProb, validate_mask_query
 from repro.nn import Adam, Dropout, Embedding, LayerNorm, Linear, Module, clip_grad_norm, no_grad
 from repro.nn.functional import cross_entropy
 from repro.nn.tensor import Tensor
+from repro.obs import instrument as obs
+from repro.obs.logging import get_logger
+from repro.obs.tracing import span
+
+_log = get_logger("mlm.bert")
 
 _NUM_SPECIAL = 3  # [PAD], [MASK], [UNK] — must match repro.mlm.vocab
 _PAD_ID, _MASK_ID, _UNK_ID = 0, 1, 2
@@ -75,7 +80,8 @@ class TrainingConfig:
     seed: int = 0
     max_steps: Optional[int] = None
     log_every: int = 0
-    """Print loss every N steps when > 0 (library is silent by default)."""
+    """Log loss (at INFO, logger ``repro.mlm.bert``) every N steps when
+    > 0; training progress is otherwise logged at DEBUG."""
 
 
 class MultiHeadSelfAttention(Module):
@@ -157,17 +163,20 @@ class BertModel(Module):
             raise ConfigError(
                 f"sequence length {seq} exceeds max_seq_len {self.config.max_seq_len}"
             )
-        if attention_mask is None:
-            attention_mask = (ids != _PAD_ID).astype(np.float64)
-        attn_bias = (1.0 - attention_mask)[:, None, None, :] * _ATTN_NEG
+        with obs.stopwatch("repro.bert.forward_seconds"):
+            if attention_mask is None:
+                attention_mask = (ids != _PAD_ID).astype(np.float64)
+            attn_bias = (1.0 - attention_mask)[:, None, None, :] * _ATTN_NEG
 
-        positions = np.broadcast_to(np.arange(seq), (batch, seq))
-        x = self.token_embedding(ids) + self.position_embedding(positions)
-        x = self.embed_dropout(self.embed_norm(x))
-        for layer in self.layers:
-            x = layer(x, attn_bias)
-        x = self.mlm_norm(self.mlm_dense(x).gelu())
-        return self.mlm_decoder(x)
+            positions = np.broadcast_to(np.arange(seq), (batch, seq))
+            x = self.token_embedding(ids) + self.position_embedding(positions)
+            x = self.embed_dropout(self.embed_norm(x))
+            for layer in self.layers:
+                x = layer(x, attn_bias)
+            x = self.mlm_norm(self.mlm_dense(x).gelu())
+            logits = self.mlm_decoder(x)
+        obs.observe("repro.bert.forward_batch_size", batch)
+        return logits
 
 
 def _mask_batch(
@@ -267,8 +276,16 @@ class BertMaskedLM(MaskedModel):
         if not chunks:
             return self
 
+        with span("bert.fit", chunks=len(chunks), vocab=cfg.vocab_size):
+            with obs.stopwatch("repro.bert.fit_seconds"):
+                self._train_loop(chunks, cfg, tcfg, rng)
+        self.model.eval()
+        return self
+
+    def _train_loop(self, chunks, cfg: BertConfig, tcfg: TrainingConfig, rng) -> None:
         params = list(self.model.parameters())
         optimizer = Adam(params, lr=tcfg.lr, warmup_steps=tcfg.warmup_steps)
+        steps = obs.counter("repro.bert.train_steps_total")
         step = 0
         for _ in range(tcfg.epochs):
             for batch in self._batches(chunks, rng):
@@ -282,14 +299,15 @@ class BertMaskedLM(MaskedModel):
                 clip_grad_norm(params, tcfg.grad_clip)
                 optimizer.step()
                 self.loss_history.append(loss.item())
+                steps.inc()
                 if tcfg.log_every and step % tcfg.log_every == 0:
-                    print(f"bert step {step}: loss {loss.item():.4f}")
+                    _log.info(
+                        "bert training step",
+                        extra={"data": {"step": step, "loss": round(loss.item(), 4)}},
+                    )
                 step += 1
                 if tcfg.max_steps is not None and step >= tcfg.max_steps:
-                    self.model.eval()
-                    return self
-        self.model.eval()
-        return self
+                    return
 
     @property
     def is_fitted(self) -> bool:
@@ -306,6 +324,7 @@ class BertMaskedLM(MaskedModel):
         if not self.is_fitted:
             raise NotFittedError("BertMaskedLM.predict_masked before fit")
         assert self.model is not None and self._config is not None
+        obs.count("repro.bert.predictions_total")
 
         # Clip a context window around the masked position when the
         # sequence exceeds the model's maximum length.

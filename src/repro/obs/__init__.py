@@ -1,0 +1,67 @@
+"""Observability for the KAMEL pipeline: metrics, tracing, logging.
+
+Four dependency-free modules:
+
+* :mod:`repro.obs.metrics` — a process-local :class:`MetricsRegistry` of
+  counters, gauges, and histograms (fixed buckets + streaming quantiles),
+  with snapshot/reset and JSON export;
+* :mod:`repro.obs.tracing` — nestable :func:`span` context managers that
+  build per-operation span trees, free when disabled (the default);
+* :mod:`repro.obs.logging` — the structured ``repro`` logger hierarchy
+  (key=value or JSON-lines formatting);
+* :mod:`repro.obs.instrument` — the integration layer the pipeline
+  modules import: the canonical metric-name catalog, stopwatches, and
+  decorators.
+
+Quick look at what a run did::
+
+    from repro.obs import get_registry
+    system.impute_batch(sparse)
+    print(get_registry().to_json())
+
+See ``docs/observability.md`` for the metric catalog and span hierarchy.
+"""
+
+from repro.obs.logging import configure_logging, get_logger
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+)
+from repro.obs.tracing import (
+    Span,
+    clear_spans,
+    disable_tracing,
+    enable_tracing,
+    finished_spans,
+    get_tracer,
+    span,
+    tracing_enabled,
+)
+from repro.obs.instrument import METRIC_CATALOG, Stopwatch, stopwatch, timed
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "METRIC_CATALOG",
+    "MetricsRegistry",
+    "Span",
+    "Stopwatch",
+    "clear_spans",
+    "configure_logging",
+    "disable_tracing",
+    "enable_tracing",
+    "finished_spans",
+    "get_logger",
+    "get_registry",
+    "get_tracer",
+    "set_registry",
+    "span",
+    "stopwatch",
+    "timed",
+    "tracing_enabled",
+]

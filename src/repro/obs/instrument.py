@@ -1,0 +1,219 @@
+"""The integration layer between ``repro.obs`` and the KAMEL pipeline.
+
+The instrumented modules (``core.kamel``, ``core.imputation``,
+``core.partitioning``, ``core.constraints``, ``core.detokenization``,
+``mlm.bert``, ``core.streaming``, ``eval.harness``) import *only* this
+module: it owns the canonical metric names (:data:`METRIC_CATALOG`), the
+timing helpers, and the decorators, so the rest of the codebase never
+hand-rolls ``time.perf_counter`` or invents ad-hoc metric names.
+
+Naming convention: ``repro.<module>.<what>[_total|_seconds]`` — counters
+end in ``_total``, wall-time histograms in ``_seconds``. Rejection and
+mode counters append one ``.<reason>`` segment from a closed set listed
+in the catalog (``docs/observability.md`` renders the full table).
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from typing import Callable, Optional, Sequence, TypeVar
+
+from repro.obs.metrics import (
+    COUNT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    LATENCY_BUCKETS,
+    MetricsRegistry,
+    get_registry,
+)
+from repro.obs.tracing import span
+
+__all__ = [
+    "METRIC_CATALOG",
+    "counter",
+    "gauge",
+    "histogram",
+    "count",
+    "observe",
+    "Stopwatch",
+    "stopwatch",
+    "timed",
+    "catalog_description",
+]
+
+F = TypeVar("F", bound=Callable)
+
+
+METRIC_CATALOG: dict[str, str] = {
+    # -- system front (core.kamel) ----------------------------------------
+    "repro.kamel.fit_seconds": "Wall time of Kamel.fit.",
+    "repro.kamel.impute_seconds": "Wall time of one Kamel.impute trajectory.",
+    "repro.kamel.trajectories_total": "Trajectories imputed.",
+    "repro.kamel.segments_total": "Sparse segments examined (gap or not).",
+    "repro.kamel.segments_imputed_total": "Segments wider than maxgap, sent to the imputer.",
+    "repro.kamel.segments_failed_total": "Segments that fell back to the straight line.",
+    "repro.kamel.fallback.endpoint_unseen_total": "Fallbacks: an endpoint cell never seen in training.",
+    "repro.kamel.fallback.no_model_total": "Fallbacks: no repository model covers the segment.",
+    "repro.kamel.fallback.search_failed_total": "Fallbacks: search starved or budget exhausted.",
+    "repro.kamel.failure_rate": "Running failure rate: segments_failed_total / segments_imputed_total (the paper's Section 8 metric).",
+    "repro.kamel.model_calls_total": "Masked-model calls across all segments.",
+    "repro.kamel.training_trajectories_total": "Trajectories ingested by fit/add_training.",
+    # -- multipoint imputation (core.imputation) --------------------------
+    "repro.imputation.segments_total": "Segment searches run, any strategy.",
+    "repro.imputation.iterative.segments_total": "Segments run by Algorithm 1 (iterative).",
+    "repro.imputation.beam.segments_total": "Segments run by Algorithm 2 (beam search).",
+    "repro.imputation.single_point.segments_total": "Segments run by the single-point ablation.",
+    "repro.imputation.failures_total": "Segment searches that returned no token sequence.",
+    "repro.imputation.budget_exhausted_total": "Segment searches stopped by the model-call budget.",
+    "repro.imputation.calls_per_segment": "Model calls spent on one segment.",
+    "repro.imputation.budget_consumed_ratio": "Fraction of the per-segment call budget spent.",
+    # -- model repository (core.partitioning) -----------------------------
+    "repro.partitioning.lookup_total": "Repository retrievals.",
+    "repro.partitioning.lookup_miss_total": "Retrievals finding no covering model.",
+    "repro.partitioning.lookup_hit.single_total": "Retrievals served by a single-cell model.",
+    "repro.partitioning.lookup_hit.neighbor_total": "Retrievals served by a neighbor-pair model.",
+    "repro.partitioning.lookup_hit_level": "Pyramid level of each lookup hit.",
+    "repro.partitioning.model_builds_total": "Models (re)trained by maintenance.",
+    "repro.partitioning.model_build_seconds": "Wall time of one model (re)build.",
+    # -- constraint filtering (core.constraints) --------------------------
+    "repro.constraints.candidates_in_total": "Candidate tokens entering the Section 5 filters.",
+    "repro.constraints.candidates_out_total": "Candidate tokens surviving all filters.",
+    "repro.constraints.rejected.special_total": "Rejected: special vocabulary token.",
+    "repro.constraints.rejected.speed_ellipse_total": "Rejected: outside the speed ellipse.",
+    "repro.constraints.rejected.local_detour_total": "Rejected: local detour budget exceeded.",
+    "repro.constraints.rejected.length_budget_total": "Rejected: path length budget exceeded.",
+    "repro.constraints.rejected.direction_cone_total": "Rejected: inside a forbidden direction cone.",
+    "repro.constraints.rejected.cycle_total": "Rejected: would create a repeated token block.",
+    # -- detokenization (core.detokenization) -----------------------------
+    "repro.detokenization.tokens_total": "Imputed tokens detokenized.",
+    "repro.detokenization.mode.cell_centroid_total": "Outcome: geometric cell centroid (no metadata).",
+    "repro.detokenization.mode.data_centroid_total": "Outcome: training-data centroid (no clusters).",
+    "repro.detokenization.mode.single_cluster_total": "Outcome: the cell's only cluster.",
+    "repro.detokenization.mode.direction_match_total": "Outcome: best direction-aligned cluster.",
+    "repro.detokenization.mode.largest_cluster_total": "Outcome: largest cluster (no direction context).",
+    # -- BERT backend (mlm.bert) ------------------------------------------
+    "repro.bert.forward_seconds": "One BertModel forward pass.",
+    "repro.bert.forward_batch_size": "Sequences per forward pass.",
+    "repro.bert.predictions_total": "predict_masked calls served.",
+    "repro.bert.train_steps_total": "Optimizer steps taken across fits.",
+    "repro.bert.fit_seconds": "Wall time of one BertMaskedLM.fit.",
+    # -- streaming service (core.streaming) -------------------------------
+    "repro.streaming.trajectories_in_total": "Raw trajectories entering the service.",
+    "repro.streaming.trips_out_total": "Cleaned trips imputed.",
+    "repro.streaming.points_in_total": "Raw points received.",
+    "repro.streaming.points_out_total": "Points emitted after imputation.",
+    "repro.streaming.process_seconds": "Wall time of one service.process call.",
+    "repro.streaming.training_flushes_total": "Offline enrichment batches flushed.",
+    # -- evaluation harness (eval.harness) --------------------------------
+    "repro.eval.train_seconds": "Harness: training one method on one workload.",
+    "repro.eval.impute_seconds": "Harness: imputing one workload's test set.",
+}
+"""Every metric the pipeline emits, with its meaning (the name registry
+``docs/observability.md`` renders; tests assert emitted names appear here)."""
+
+_COUNT_HISTOGRAMS = {
+    "repro.imputation.calls_per_segment",
+    "repro.partitioning.lookup_hit_level",
+    "repro.bert.forward_batch_size",
+}
+
+_RATIO_BUCKETS: tuple[float, ...] = (0.1, 0.25, 0.5, 0.75, 0.9, 1.0)
+
+
+def catalog_description(name: str) -> str:
+    return METRIC_CATALOG.get(name, "")
+
+
+def _buckets_for(name: str) -> Sequence[float]:
+    if name in _COUNT_HISTOGRAMS:
+        return COUNT_BUCKETS
+    if name.endswith("_ratio"):
+        return _RATIO_BUCKETS
+    return LATENCY_BUCKETS
+
+
+def counter(name: str, registry: Optional[MetricsRegistry] = None) -> Counter:
+    """The catalog counter ``name`` in the default (or given) registry."""
+    return (registry or get_registry()).counter(name, catalog_description(name))
+
+
+def histogram(name: str, registry: Optional[MetricsRegistry] = None) -> Histogram:
+    """The catalog histogram ``name``, with buckets chosen by its kind."""
+    return (registry or get_registry()).histogram(
+        name, catalog_description(name), buckets=_buckets_for(name)
+    )
+
+
+def gauge(name: str, registry: Optional[MetricsRegistry] = None) -> Gauge:
+    """The catalog gauge ``name`` in the default (or given) registry."""
+    return (registry or get_registry()).gauge(name, catalog_description(name))
+
+
+def count(name: str, amount: float = 1) -> None:
+    """Increment a catalog counter on the default registry."""
+    counter(name).inc(amount)
+
+
+def observe(name: str, value: float) -> None:
+    """Record one observation into a catalog histogram."""
+    histogram(name).observe(value)
+
+
+class Stopwatch:
+    """A perf_counter block timer, optionally feeding a histogram.
+
+    ``seconds`` is live while the block runs and frozen at exit, so
+    callers that also keep their own timing fields (``StreamStats``,
+    ``MethodScores``) read the *same* measurement the registry records.
+    """
+
+    __slots__ = ("metric", "_start", "_elapsed")
+
+    def __init__(self, metric: Optional[str] = None) -> None:
+        self.metric = metric
+        self._start: Optional[float] = None
+        self._elapsed: Optional[float] = None
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._elapsed = time.perf_counter() - self._start
+        if self.metric is not None:
+            observe(self.metric, self._elapsed)
+        return False
+
+    @property
+    def seconds(self) -> float:
+        if self._elapsed is not None:
+            return self._elapsed
+        if self._start is None:
+            return 0.0
+        return time.perf_counter() - self._start
+
+
+def stopwatch(metric: Optional[str] = None) -> Stopwatch:
+    """``with stopwatch("repro.eval.train_seconds") as sw: ...`` — then
+    ``sw.seconds`` holds exactly what the histogram recorded."""
+    return Stopwatch(metric)
+
+
+def timed(metric: str, span_name: Optional[str] = None) -> Callable[[F], F]:
+    """Decorator: record the call's wall time (and optionally a span)."""
+
+    def decorate(fn: F) -> F:
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            if span_name is None:
+                with stopwatch(metric):
+                    return fn(*args, **kwargs)
+            with span(span_name):
+                with stopwatch(metric):
+                    return fn(*args, **kwargs)
+
+        return wrapper  # type: ignore[return-value]
+
+    return decorate

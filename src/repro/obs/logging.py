@@ -1,0 +1,136 @@
+"""Structured logging for the ``repro`` logger hierarchy.
+
+Every module logs under ``repro.<area>`` (``repro.core.kamel``,
+``repro.mlm.bert``, ...) via :func:`get_logger`. The library itself never
+configures handlers — importing ``repro`` attaches only a
+:class:`logging.NullHandler`, per library convention — while entry points
+(the CLI, benchmarks, notebooks) call :func:`configure_logging` once to
+get structured output in either ``key=value`` or JSON-lines form.
+
+Structured fields ride on the standard API::
+
+    log = get_logger("core.kamel")
+    log.warning("segment fallback", extra={"data": {"segment": 3, "reason": "no_model"}})
+
+The formatters render ``record.data`` as trailing ``key=value`` pairs or
+as JSON object members; plain third-party handlers just ignore it.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+from typing import IO, Any, Mapping, Optional, Union
+
+__all__ = [
+    "ROOT_LOGGER_NAME",
+    "KeyValueFormatter",
+    "JsonLinesFormatter",
+    "get_logger",
+    "configure_logging",
+]
+
+ROOT_LOGGER_NAME = "repro"
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """A logger in the ``repro`` hierarchy (``repro`` itself for ``None``)."""
+    if not name:
+        return logging.getLogger(ROOT_LOGGER_NAME)
+    if name.startswith(ROOT_LOGGER_NAME + ".") or name == ROOT_LOGGER_NAME:
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")
+
+
+def _record_data(record: logging.LogRecord) -> Mapping[str, Any]:
+    data = getattr(record, "data", None)
+    return data if isinstance(data, Mapping) else {}
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    text = str(value)
+    if " " in text or "=" in text or '"' in text:
+        return json.dumps(text)
+    return text
+
+
+class KeyValueFormatter(logging.Formatter):
+    """``ts=... level=... logger=... msg="..." key=value ...`` lines."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        parts = [
+            f"ts={self.formatTime(record, datefmt='%Y-%m-%dT%H:%M:%S')}",
+            f"level={record.levelname}",
+            f"logger={record.name}",
+            f"msg={json.dumps(record.getMessage())}",
+        ]
+        parts.extend(f"{k}={_format_value(v)}" for k, v in _record_data(record).items())
+        if record.exc_info:
+            parts.append(f"exc={json.dumps(self.formatException(record.exc_info))}")
+        return " ".join(parts)
+
+
+class JsonLinesFormatter(logging.Formatter):
+    """One JSON object per log record."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        out: dict[str, Any] = {
+            "ts": record.created,
+            "level": record.levelname,
+            "logger": record.name,
+            "msg": record.getMessage(),
+        }
+        data = _record_data(record)
+        if data:
+            out["data"] = dict(data)
+        if record.exc_info:
+            out["exc"] = self.formatException(record.exc_info)
+        return json.dumps(out, default=str)
+
+
+def configure_logging(
+    level: Union[int, str] = "INFO",
+    fmt: str = "kv",
+    stream: Optional[IO[str]] = None,
+    force: bool = False,
+) -> logging.Logger:
+    """Attach one structured handler to the ``repro`` root logger.
+
+    Idempotent unless ``force``: a second call only adjusts the level, so
+    libraries embedding the CLI cannot stack duplicate handlers. ``fmt``
+    is ``"kv"`` (key=value, human-greppable) or ``"json"`` (JSON lines).
+    """
+    if fmt not in ("kv", "json"):
+        raise ValueError(f"fmt must be 'kv' or 'json', got {fmt!r}")
+    if isinstance(level, str):
+        resolved = logging.getLevelName(level.upper())
+        if not isinstance(resolved, int):
+            raise ValueError(f"unknown log level {level!r}")
+        level = resolved
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    root.setLevel(level)
+
+    existing = [
+        h for h in root.handlers if getattr(h, "_repro_structured", False)
+    ]
+    if existing and not force:
+        for handler in existing:
+            handler.setLevel(level)
+        return root
+    for handler in existing:
+        root.removeHandler(handler)
+
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setLevel(level)
+    handler.setFormatter(KeyValueFormatter() if fmt == "kv" else JsonLinesFormatter())
+    handler._repro_structured = True  # type: ignore[attr-defined]
+    root.addHandler(handler)
+    root.propagate = False
+    return root
+
+
+# Library default: silent unless an entry point configures logging.
+logging.getLogger(ROOT_LOGGER_NAME).addHandler(logging.NullHandler())

@@ -1,0 +1,235 @@
+"""Nestable spans: where the imputation pipeline spends its time.
+
+A span is one timed region (``impute.trajectory``, ``impute.segment``,
+``bert.forward``) with wall-clock duration, free-form attributes (cell
+count, beam width, model level used, candidates filtered), and children —
+together the spans of one operation form a tree mirroring the paper's
+module decomposition.
+
+Tracing is **off by default**: :func:`span` then returns a shared no-op
+context manager, so a hot loop pays roughly one attribute load and one
+branch per span. Enable it (``enable_tracing()`` or the CLI's
+``--trace``) to collect real trees, readable via :func:`finished_spans`
+and serializable with :meth:`Span.to_dict`.
+
+Spans nest per-thread (a thread-local stack), exception-safely: a span
+that exits through an exception is closed, marked with the exception
+type, and re-raises.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Iterator, Optional
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "get_tracer",
+    "span",
+    "enable_tracing",
+    "disable_tracing",
+    "tracing_enabled",
+    "finished_spans",
+    "clear_spans",
+]
+
+
+class Span:
+    """One timed region of the pipeline, with attributes and children."""
+
+    __slots__ = ("name", "attributes", "children", "start_s", "end_s", "error")
+
+    def __init__(self, name: str, attributes: Optional[dict[str, Any]] = None) -> None:
+        self.name = name
+        self.attributes: dict[str, Any] = attributes or {}
+        self.children: list[Span] = []
+        self.start_s = time.perf_counter()
+        self.end_s: Optional[float] = None
+        self.error: Optional[str] = None
+
+    @property
+    def duration_s(self) -> Optional[float]:
+        if self.end_s is None:
+            return None
+        return self.end_s - self.start_s
+
+    def set(self, **attributes: Any) -> "Span":
+        """Attach attributes to the span (chainable)."""
+        self.attributes.update(attributes)
+        return self
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> list["Span"]:
+        """Every span named ``name`` in this subtree."""
+        return [s for s in self.walk() if s.name == name]
+
+    def to_dict(self) -> dict:
+        out: dict[str, Any] = {
+            "name": self.name,
+            "duration_s": self.duration_s,
+        }
+        if self.attributes:
+            out["attributes"] = dict(self.attributes)
+        if self.error is not None:
+            out["error"] = self.error
+        if self.children:
+            out["children"] = [c.to_dict() for c in self.children]
+        return out
+
+    def render(self, indent: int = 0) -> str:
+        """A flame-graph-ish text rendering of the subtree."""
+        duration = f"{self.duration_s * 1000:.3f} ms" if self.duration_s is not None else "open"
+        attrs = " ".join(f"{k}={v}" for k, v in self.attributes.items())
+        line = "  " * indent + f"{self.name} [{duration}]" + (f" {attrs}" if attrs else "")
+        return "\n".join([line] + [c.render(indent + 1) for c in self.children])
+
+    def __repr__(self) -> str:
+        return f"Span({self.name!r}, duration_s={self.duration_s}, children={len(self.children)})"
+
+
+class _NoopSpan:
+    """The disabled-tracing fast path: every operation is a no-op."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+    def set(self, **attributes: Any) -> "_NoopSpan":
+        return self
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class _SpanContext:
+    """Context manager pushing a real span onto the tracer's stack."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", name: str, attributes: dict[str, Any]) -> None:
+        self._tracer = tracer
+        self._span = Span(name, attributes)
+
+    def __enter__(self) -> Span:
+        self._tracer._push(self._span)
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self._span.error = exc_type.__name__
+        self._tracer._pop(self._span)
+        return False
+
+
+class Tracer:
+    """Per-thread span stacks plus the finished root-span buffer."""
+
+    def __init__(self, max_roots: int = 1000) -> None:
+        self.enabled = False
+        self.max_roots = max_roots
+        self._local = threading.local()
+        self._roots: list[Span] = []
+        self._lock = threading.Lock()
+
+    # -- collection ----------------------------------------------------------
+
+    def span(self, name: str, **attributes: Any):
+        """Open a span under the current one (no-op when disabled)."""
+        if not self.enabled:
+            return _NOOP_SPAN
+        return _SpanContext(self, name, attributes)
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _push(self, span_obj: Span) -> None:
+        stack = self._stack()
+        if stack:
+            stack[-1].children.append(span_obj)
+        stack.append(span_obj)
+
+    def _pop(self, span_obj: Span) -> None:
+        span_obj.end_s = time.perf_counter()
+        stack = self._stack()
+        # Exception-safe unwind: close everything above the span too.
+        while stack:
+            top = stack.pop()
+            if top.end_s is None:
+                top.end_s = span_obj.end_s
+            if top is span_obj:
+                break
+        if not stack:
+            with self._lock:
+                self._roots.append(span_obj)
+                if len(self._roots) > self.max_roots:
+                    del self._roots[: len(self._roots) - self.max_roots]
+
+    def current(self) -> Optional[Span]:
+        """The innermost open span on this thread, if any."""
+        stack = getattr(self._local, "stack", None)
+        return stack[-1] if stack else None
+
+    # -- inspection ----------------------------------------------------------
+
+    def finished(self) -> list[Span]:
+        """Completed root spans, oldest first (bounded by ``max_roots``)."""
+        with self._lock:
+            return list(self._roots)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._roots.clear()
+
+    def __repr__(self) -> str:
+        state = "enabled" if self.enabled else "disabled"
+        return f"Tracer({state}, finished={len(self._roots)})"
+
+
+_tracer = Tracer()
+
+
+def get_tracer() -> Tracer:
+    """The process-wide tracer used by the instrumented pipeline."""
+    return _tracer
+
+
+def span(name: str, **attributes: Any):
+    """Open a pipeline span (module-level shorthand; no-op when disabled)."""
+    if not _tracer.enabled:
+        return _NOOP_SPAN
+    return _SpanContext(_tracer, name, attributes)
+
+
+def enable_tracing() -> None:
+    _tracer.enabled = True
+
+
+def disable_tracing() -> None:
+    _tracer.enabled = False
+
+
+def tracing_enabled() -> bool:
+    return _tracer.enabled
+
+
+def finished_spans() -> list[Span]:
+    """Completed root spans collected since the last :func:`clear_spans`."""
+    return _tracer.finished()
+
+
+def clear_spans() -> None:
+    _tracer.clear()

@@ -1,0 +1,52 @@
+"""Library code must log through ``repro.obs.logging``, not ``print``.
+
+``print`` is fine in the CLI (it *is* the user interface) and in the viz
+helpers (which narrate figure generation), but everywhere else in
+``src/repro/`` output must go through the structured ``repro`` logger so
+it can be filtered, formatted, and captured. This test walks the ASTs so
+a ``print(`` inside a docstring or comment is not a false positive.
+"""
+
+import ast
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+# print() is the intended output channel in these places.
+ALLOWED = ("cli.py", "viz/")
+
+
+def _is_allowed(path: Path) -> bool:
+    rel = path.relative_to(SRC).as_posix()
+    return any(rel == a or rel.startswith(a) for a in ALLOWED)
+
+
+def _print_calls(path: Path):
+    tree = ast.parse(path.read_text(), filename=str(path))
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "print"
+        ):
+            yield node.lineno
+
+
+def test_no_bare_print_outside_cli_and_viz():
+    offenders = []
+    for path in sorted(SRC.rglob("*.py")):
+        if _is_allowed(path):
+            continue
+        offenders.extend(
+            f"{path.relative_to(SRC)}:{line}" for line in _print_calls(path)
+        )
+    assert not offenders, (
+        "bare print() in library code (use repro.obs.logging): "
+        + ", ".join(offenders)
+    )
+
+
+def test_the_scan_actually_sees_source_files():
+    """Guard against the lint silently passing on an empty glob."""
+    scanned = [p for p in SRC.rglob("*.py") if not _is_allowed(p)]
+    assert len(scanned) > 10

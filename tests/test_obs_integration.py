@@ -1,0 +1,162 @@
+"""End-to-end observability: a fit + impute run emits the expected
+counters, histograms, spans, and warning logs."""
+
+import logging
+
+import pytest
+
+from repro import Kamel, KamelConfig
+from repro.obs import (
+    METRIC_CATALOG,
+    MetricsRegistry,
+    clear_spans,
+    disable_tracing,
+    enable_tracing,
+    finished_spans,
+    set_registry,
+)
+
+
+@pytest.fixture(scope="module")
+def obs_run(small_dataset):
+    """One fit + impute run with a fresh registry and tracing enabled."""
+    registry = MetricsRegistry()
+    previous = set_registry(registry)
+    enable_tracing()
+    clear_spans()
+    try:
+        train, test = small_dataset.split(seed=1)
+        system = Kamel(KamelConfig(max_model_calls=600)).fit(train)
+        results = system.impute_batch([t.sparsify(500.0) for t in test[:4]])
+        spans = finished_spans()
+    finally:
+        disable_tracing()
+        clear_spans()
+        set_registry(previous)
+    return registry, results, spans
+
+
+@pytest.fixture(scope="module")
+def run_registry(obs_run):
+    registry, results, _ = obs_run
+    return registry, results
+
+
+EXPECTED_COUNTERS = (
+    "repro.kamel.trajectories_total",
+    "repro.kamel.segments_total",
+    "repro.kamel.segments_imputed_total",
+    "repro.kamel.training_trajectories_total",
+    "repro.kamel.model_calls_total",
+    "repro.imputation.segments_total",
+    "repro.imputation.beam.segments_total",
+    "repro.constraints.candidates_in_total",
+    "repro.constraints.candidates_out_total",
+    "repro.detokenization.tokens_total",
+    "repro.partitioning.lookup_total",
+    "repro.partitioning.model_builds_total",
+)
+
+EXPECTED_HISTOGRAMS = (
+    "repro.kamel.fit_seconds",
+    "repro.kamel.impute_seconds",
+    "repro.imputation.calls_per_segment",
+    "repro.partitioning.model_build_seconds",
+)
+
+
+class TestMetricsEmission:
+    def test_expected_counters_present_and_positive(self, run_registry):
+        registry, _ = run_registry
+        for name in EXPECTED_COUNTERS:
+            metric = registry.get(name)
+            assert metric is not None, f"{name} never emitted"
+            assert metric.value > 0, f"{name} emitted but zero"
+
+    def test_expected_histograms_observed(self, run_registry):
+        registry, _ = run_registry
+        for name in EXPECTED_HISTOGRAMS:
+            metric = registry.get(name)
+            assert metric is not None, f"{name} never emitted"
+            assert metric.count > 0
+
+    def test_every_emitted_metric_is_in_the_catalog(self, run_registry):
+        registry, _ = run_registry
+        unknown = [n for n in registry.names() if n not in METRIC_CATALOG]
+        assert not unknown, f"metrics missing from METRIC_CATALOG: {unknown}"
+
+    def test_registry_agrees_with_results(self, run_registry):
+        registry, results = run_registry
+        assert registry.get("repro.kamel.trajectories_total").value == len(results)
+        assert registry.get("repro.kamel.segments_imputed_total").value == sum(
+            r.num_segments for r in results
+        )
+        assert registry.get("repro.kamel.model_calls_total").value == sum(
+            r.total_model_calls for r in results
+        )
+        imputed = sum(r.num_segments for r in results)
+        failed = sum(r.num_failed for r in results)
+        rate = registry.get("repro.kamel.failure_rate")
+        assert rate is not None
+        assert rate.value == pytest.approx(failed / imputed if imputed else 0.0)
+
+    def test_constraint_filter_balance(self, run_registry):
+        """candidates_in == candidates_out + every rejection bucket."""
+        registry, _ = run_registry
+        total_in = registry.get("repro.constraints.candidates_in_total").value
+        total_out = registry.get("repro.constraints.candidates_out_total").value
+        rejected = sum(
+            registry.get(name).value
+            for name in registry.names()
+            if name.startswith("repro.constraints.rejected.")
+        )
+        assert total_in == total_out + rejected
+
+    def test_pipeline_metrics_cover_every_module(self, run_registry):
+        registry, _ = run_registry
+        prefixes = {name.split(".")[1] for name in registry.names()}
+        assert {
+            "kamel", "imputation", "partitioning", "constraints", "detokenization",
+        } <= prefixes
+
+
+class TestSpans:
+    def test_impute_produces_the_span_hierarchy(self, obs_run):
+        _, results, spans = obs_run
+        roots = [s for s in spans if s.name == "impute.trajectory"]
+        assert len(roots) == len(results)
+        root = roots[0]
+        segments = root.find("impute.segment")
+        assert segments, "no impute.segment spans under the trajectory"
+        assert root.attributes["segments"] == len(segments)
+        for seg in segments:
+            assert seg.attributes["strategy"] == "beam"
+            assert "model_calls" in seg.attributes
+
+    def test_fit_span_carries_sizing_attributes(self, obs_run, small_split):
+        _, _, spans = obs_run
+        train, _ = small_split
+        fit_roots = [s for s in spans if s.name == "kamel.fit"]
+        assert len(fit_roots) == 1
+        assert fit_roots[0].attributes["trajectories"] == len(train)
+        assert fit_roots[0].find("repository.build_model")
+
+
+class TestFallbackWarning:
+    def test_linear_fallback_logs_a_warning(self, trained_kamel, caplog):
+        """A segment no model covers must warn once (the paper's failure)."""
+        from repro.geo import Point, Trajectory
+
+        # Far outside the trained city: every lookup misses.
+        far = Trajectory(
+            "offmap",
+            [Point(90_000.0, 90_000.0, 0.0), Point(95_000.0, 95_000.0, 600.0)],
+        )
+        with caplog.at_level(logging.WARNING, logger="repro.core.kamel"):
+            result = trained_kamel.impute(far)
+        assert result.num_failed == 1
+        fallback_records = [
+            r for r in caplog.records if "fell back" in r.getMessage()
+        ]
+        assert len(fallback_records) == 1
+        assert fallback_records[0].data["segment"] == 0

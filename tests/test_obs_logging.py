@@ -1,0 +1,108 @@
+"""Unit tests for repro.obs.logging: formatters and configuration."""
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.obs.logging import (
+    JsonLinesFormatter,
+    KeyValueFormatter,
+    ROOT_LOGGER_NAME,
+    configure_logging,
+    get_logger,
+)
+
+
+@pytest.fixture()
+def clean_root_logger():
+    """Strip any structured handlers configure_logging attached."""
+    yield
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    for handler in list(root.handlers):
+        if getattr(handler, "_repro_structured", False):
+            root.removeHandler(handler)
+    root.propagate = True
+    root.setLevel(logging.NOTSET)
+
+
+def _record(msg="hello world", data=None, level=logging.INFO):
+    record = logging.LogRecord(
+        "repro.test", level, __file__, 1, msg, args=(), exc_info=None
+    )
+    if data is not None:
+        record.data = data
+    return record
+
+
+class TestGetLogger:
+    def test_prefixes_into_the_repro_hierarchy(self):
+        assert get_logger("core.kamel").name == "repro.core.kamel"
+
+    def test_keeps_existing_prefix(self):
+        assert get_logger("repro.mlm.bert").name == "repro.mlm.bert"
+
+    def test_none_returns_root(self):
+        assert get_logger().name == ROOT_LOGGER_NAME
+
+
+class TestKeyValueFormatter:
+    def test_renders_structured_fields(self):
+        line = KeyValueFormatter().format(
+            _record(data={"segment": 3, "reason": "no_model"})
+        )
+        assert 'msg="hello world"' in line
+        assert "segment=3" in line
+        assert "reason=no_model" in line
+        assert "level=INFO" in line
+
+    def test_quotes_values_with_spaces(self):
+        line = KeyValueFormatter().format(_record(data={"k": "a b"}))
+        assert 'k="a b"' in line
+
+
+class TestJsonLinesFormatter:
+    def test_each_record_is_one_json_object(self):
+        line = JsonLinesFormatter().format(
+            _record(data={"gap_m": 420.5}, level=logging.WARNING)
+        )
+        obj = json.loads(line)
+        assert obj["msg"] == "hello world"
+        assert obj["level"] == "WARNING"
+        assert obj["data"] == {"gap_m": 420.5}
+
+
+class TestConfigureLogging:
+    def test_attaches_one_structured_handler(self, clean_root_logger):
+        stream = io.StringIO()
+        root = configure_logging(level="INFO", stream=stream)
+        get_logger("core.kamel").info("x")
+        assert "logger=repro.core.kamel" in stream.getvalue()
+        assert sum(
+            1 for h in root.handlers if getattr(h, "_repro_structured", False)
+        ) == 1
+
+    def test_idempotent_reconfiguration(self, clean_root_logger):
+        stream = io.StringIO()
+        configure_logging(level="INFO", stream=stream)
+        configure_logging(level="DEBUG", stream=stream)
+        root = logging.getLogger(ROOT_LOGGER_NAME)
+        structured = [
+            h for h in root.handlers if getattr(h, "_repro_structured", False)
+        ]
+        assert len(structured) == 1
+        assert structured[0].level == logging.DEBUG
+
+    def test_rejects_unknown_level_and_format(self, clean_root_logger):
+        with pytest.raises(ValueError):
+            configure_logging(level="LOUD")
+        with pytest.raises(ValueError):
+            configure_logging(fmt="xml")
+
+    def test_json_format(self, clean_root_logger):
+        stream = io.StringIO()
+        configure_logging(level="INFO", fmt="json", stream=stream, force=True)
+        get_logger("eval").info("done", extra={"data": {"n": 2}})
+        obj = json.loads(stream.getvalue())
+        assert obj["data"] == {"n": 2}

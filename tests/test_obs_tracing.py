@@ -1,0 +1,142 @@
+"""Unit tests for repro.obs.tracing: nesting, exceptions, no-op mode."""
+
+import pytest
+
+from repro.obs.tracing import (
+    Tracer,
+    clear_spans,
+    disable_tracing,
+    enable_tracing,
+    finished_spans,
+    get_tracer,
+    span,
+    tracing_enabled,
+)
+
+
+@pytest.fixture()
+def traced():
+    """Enable the global tracer for one test, restoring the default off."""
+    enable_tracing()
+    clear_spans()
+    yield get_tracer()
+    disable_tracing()
+    clear_spans()
+
+
+class TestSpanTree:
+    def test_nesting_builds_a_tree(self, traced):
+        with span("root") as root:
+            with span("child.a"):
+                with span("grandchild"):
+                    pass
+            with span("child.b"):
+                pass
+        assert [c.name for c in root.children] == ["child.a", "child.b"]
+        assert root.children[0].children[0].name == "grandchild"
+        assert [s.name for s in root.walk()] == [
+            "root", "child.a", "grandchild", "child.b",
+        ]
+
+    def test_root_collected_when_finished(self, traced):
+        with span("outer"):
+            with span("inner"):
+                pass
+        roots = finished_spans()
+        assert [r.name for r in roots] == ["outer"]
+        assert roots[0].duration_s is not None
+        assert roots[0].duration_s >= roots[0].children[0].duration_s
+
+    def test_attributes_at_open_and_via_set(self, traced):
+        with span("s", beam=10) as s:
+            s.set(model_calls=3)
+        assert s.attributes == {"beam": 10, "model_calls": 3}
+
+    def test_find_descendants_by_name(self, traced):
+        with span("root") as root:
+            for _ in range(3):
+                with span("leaf"):
+                    pass
+        assert len(root.find("leaf")) == 3
+
+    def test_to_dict_and_render(self, traced):
+        with span("root", k="v") as root:
+            with span("child"):
+                pass
+        d = root.to_dict()
+        assert d["name"] == "root"
+        assert d["attributes"] == {"k": "v"}
+        assert d["children"][0]["name"] == "child"
+        text = root.render()
+        assert "root" in text and "child" in text
+
+    def test_max_roots_bounds_the_buffer(self):
+        tracer = Tracer(max_roots=3)
+        tracer.enabled = True
+        for i in range(5):
+            with tracer.span(f"s{i}"):
+                pass
+        assert [r.name for r in tracer.finished()] == ["s2", "s3", "s4"]
+
+
+class TestExceptionSafety:
+    def test_exception_closes_span_and_reraises(self, traced):
+        with pytest.raises(ValueError):
+            with span("root"):
+                raise ValueError("boom")
+        (root,) = finished_spans()
+        assert root.error == "ValueError"
+        assert root.end_s is not None
+
+    def test_exception_unwinds_inner_spans(self, traced):
+        with pytest.raises(RuntimeError):
+            with span("outer"):
+                with span("inner"):
+                    raise RuntimeError("x")
+        (root,) = finished_spans()
+        inner = root.children[0]
+        assert inner.error == "RuntimeError"
+        assert inner.end_s is not None
+        assert root.error == "RuntimeError"
+        # The stack fully unwound: a new span starts a fresh root.
+        with span("fresh"):
+            pass
+        assert [r.name for r in finished_spans()] == ["outer", "fresh"]
+
+
+class TestNoopMode:
+    def test_disabled_by_default(self):
+        assert not tracing_enabled()
+
+    def test_disabled_span_is_a_shared_noop(self):
+        disable_tracing()
+        a = span("x")
+        b = span("y", attr=1)
+        assert a is b, "no-op path must not allocate per call"
+        with a as s:
+            assert s.set(k=1) is s
+        assert finished_spans() == []
+
+    def test_disabled_span_records_nothing(self):
+        disable_tracing()
+        clear_spans()
+        with span("invisible"):
+            pass
+        assert finished_spans() == []
+        assert get_tracer().current() is None
+
+    def test_noop_overhead_is_constant_allocation_free(self):
+        """The disabled fast path must not build Span objects or touch
+        thread-local stacks — only return the shared singleton."""
+        disable_tracing()
+        import tracemalloc
+
+        tracemalloc.start()
+        for _ in range(100):
+            with span("hot"):
+                pass
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        # A real span run allocates Span + dict + list each; the no-op
+        # loop should stay within interpreter noise.
+        assert peak < 10_000
