@@ -21,12 +21,21 @@ from repro.eval.report import render_series
 from repro.obs import get_registry
 
 
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+MERGED_SNAPSHOT = REPO_ROOT / "BENCH_observability.json"
+"""The repo-root merged snapshot: one JSON document holding every bench
+module's metrics from the latest ``--metrics-out`` run, committed per PR
+so the bench trajectory accumulates comparable numbers over time."""
+
+
 def pytest_addoption(parser):
     parser.addoption(
         "--metrics-out",
         default=None,
         metavar="DIR",
-        help="dump a BENCH_<module>.json metrics snapshot per benchmark module",
+        help="dump a BENCH_<module>.json metrics snapshot per benchmark module "
+        "plus the merged BENCH_observability.json at the repo root",
     )
 
 
@@ -35,7 +44,8 @@ def bench_metrics_snapshot(request):
     """Write each module's metrics (BENCH_<module>.json) when requested.
 
     The registry is reset before every benchmark module either way, so a
-    snapshot holds exactly what that module's figures recorded.
+    snapshot holds exactly what that module's figures recorded. Snapshots
+    also accumulate on the session for the merged repo-root document.
     """
     get_registry().reset()
     yield
@@ -46,6 +56,45 @@ def bench_metrics_snapshot(request):
     directory.mkdir(parents=True, exist_ok=True)
     name = request.module.__name__.removeprefix("bench_")
     get_registry().write_json(directory / f"BENCH_{name}.json")
+    snapshots = getattr(request.config, "_bench_obs_snapshots", None)
+    if snapshots is None:
+        snapshots = request.config._bench_obs_snapshots = {}
+    snapshots[name] = get_registry().snapshot()
+
+
+def _scalar_summary(snapshot: dict) -> dict:
+    """Compress one module snapshot to diff-friendly scalars: counter and
+    gauge values as-is, histograms as count/mean/p50/p99."""
+    out = {}
+    for name, data in sorted(snapshot.items()):
+        if data.get("type") in ("counter", "gauge"):
+            out[name] = data["value"]
+        elif data.get("type") == "histogram" and data.get("count"):
+            quantiles = data.get("quantiles") or {}
+            out[name] = {
+                "count": data["count"],
+                "mean": data["mean"],
+                "p50": quantiles.get("p50"),
+                "p99": quantiles.get("p99"),
+            }
+    return out
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Merge the per-module snapshots into BENCH_observability.json."""
+    import json
+
+    snapshots = getattr(session.config, "_bench_obs_snapshots", None)
+    if not snapshots:
+        return
+    merged = {
+        "schema": "bench-observability/1",
+        "modules": {
+            name: _scalar_summary(snapshot)
+            for name, snapshot in sorted(snapshots.items())
+        },
+    }
+    MERGED_SNAPSHOT.write_text(json.dumps(merged, indent=2, default=float) + "\n")
 
 
 def run_once(benchmark, fn, *args, **kwargs):

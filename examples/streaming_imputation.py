@@ -7,6 +7,11 @@ models trained offline, and running statistics are reported — no
 retraining happens on the hot path, which is what makes the imputation
 side scale.
 
+The service also exposes a live telemetry endpoint (Prometheus
+``/metrics``, JSON ``/healthz``, Chrome-trace ``/spans``); at the end of
+the stream this script scrapes its own endpoint once, so running it
+doubles as an endpoint smoke test.
+
 Run with::
 
     python examples/streaming_imputation.py
@@ -14,8 +19,10 @@ Run with::
 
 import itertools
 import time
+import urllib.request
 
 from repro import Kamel, KamelConfig, make_porto_like
+from repro.core.streaming import StreamingConfig, StreamingImputationService
 from repro.roadnet import TrajectorySimulator, SimulatorConfig
 
 STREAM_LENGTH = 15
@@ -27,6 +34,15 @@ def main() -> None:
     system = Kamel(KamelConfig()).fit(train)
     print(f"offline training done: {system.repository}\n")
 
+    # The deployable wrapper: cleaning chain + per-trip imputation, with
+    # the telemetry endpoint on an ephemeral localhost port and an alert
+    # if the windowed failure rate degrades past 75%.
+    service = StreamingImputationService(
+        system,
+        StreamingConfig(metrics_port=0, alert_failure_rate=0.75),
+    )
+    print(f"telemetry endpoint: {service.metrics_url}/metrics\n")
+
     # A live feed of new trips over the same (hidden) road network,
     # sparsified the way a low-power tracker would report them.
     feed_sim = TrajectorySimulator(
@@ -35,29 +51,39 @@ def main() -> None:
     )
     feed = (t.sparsify(800.0) for t in feed_sim.stream(id_prefix="live"))
 
-    total_in = total_out = total_failed = total_segments = 0
     t0 = time.perf_counter()
-    for result in system.impute_stream(itertools.islice(feed, STREAM_LENGTH)):
-        total_in += len(result.trajectory) - sum(
-            s.imputed_points for s in result.segments
-        )
-        total_out += len(result.trajectory)
-        total_failed += result.num_failed
-        total_segments += result.num_segments
-        print(
-            f"{result.trajectory.traj_id:>8s}: -> {len(result.trajectory):3d} points, "
-            f"{result.num_segments} gaps, {result.num_failed} fallbacks"
-        )
+    for trajectory in itertools.islice(feed, STREAM_LENGTH):
+        for result in service.process(trajectory):
+            print(
+                f"{result.trajectory.traj_id:>8s}: -> {len(result.trajectory):3d} points, "
+                f"{result.num_segments} gaps, {result.num_failed} fallbacks"
+            )
     elapsed = time.perf_counter() - t0
 
+    stats = service.stats
     print(
-        f"\nstream summary: {STREAM_LENGTH} trajectories in {elapsed:.2f}s "
-        f"({elapsed / STREAM_LENGTH * 1000:.0f} ms each)"
+        f"\nstream summary: {stats.trajectories_in} trajectories in {elapsed:.2f}s "
+        f"({elapsed / max(1, stats.trajectories_in) * 1000:.0f} ms each)"
     )
     print(
-        f"points {total_in} -> {total_out}; "
-        f"failure rate {total_failed / max(1, total_segments):.1%}"
+        f"points {stats.points_in} -> {stats.points_out}; "
+        f"failure rate {stats.failure_rate:.1%}; degraded={service.degraded}"
     )
+
+    # Scrape our own endpoint once — exactly what a Prometheus job would do.
+    with urllib.request.urlopen(f"{service.metrics_url}/metrics") as response:
+        exposition = response.read().decode("utf-8")
+    interesting = (
+        "repro_kamel_failure_rate",
+        "repro_streaming_trips_out_total",
+        "repro_streaming_process_seconds_count",
+        "repro_streaming_process_seconds_sum",
+    )
+    print("\nscraped /metrics (excerpt):")
+    for line in exposition.splitlines():
+        if line.startswith(interesting):
+            print(f"  {line}")
+    service.close()
 
 
 if __name__ == "__main__":

@@ -13,6 +13,12 @@ Observability flags (global, before the subcommand)::
     kamel --log-level DEBUG --metrics-out run.json compare --dataset porto
     kamel --trace figure fig9
     kamel stats run.json          # summarize a saved metrics snapshot
+
+Telemetry export::
+
+    kamel serve-metrics --port 9100 --demo     # /metrics, /healthz, /spans
+    kamel trace --export chrome -o trace.json -- compare --dataset porto
+    kamel trace --export jsonl -- figure fig9  # one span tree per line
 """
 
 from __future__ import annotations
@@ -199,6 +205,99 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_metrics(args: argparse.Namespace) -> int:
+    """Stand up the observability endpoint, optionally under demo load."""
+    import time
+
+    from repro.obs.server import ObservabilityServer
+
+    server = ObservabilityServer(port=args.port, host=args.host).start()
+    print(f"serving telemetry on {server.url} "
+          f"(/metrics, /healthz, /spans)", file=sys.stderr)
+    deadline = None if args.duration is None else time.monotonic() + args.duration
+    try:
+        if args.demo:
+            _run_demo_stream(deadline)
+        else:
+            while deadline is None or time.monotonic() < deadline:
+                time.sleep(0.1)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+    return 0
+
+
+def _run_demo_stream(deadline: Optional[float]) -> None:
+    """Impute a synthetic live feed until the deadline (or forever).
+
+    Gives the endpoint real numbers to serve: a small Porto-like system is
+    trained offline, then fresh sparsified trips stream through it.
+    """
+    import time
+
+    from repro.core.kamel import Kamel
+    from repro.core.config import KamelConfig
+    from repro.core.streaming import StreamingImputationService, StreamingConfig
+    from repro.roadnet import SimulatorConfig, TrajectorySimulator
+    from repro.roadnet.datasets import make_porto_like
+
+    print("training the demo system ...", file=sys.stderr)
+    dataset = make_porto_like(n_trajectories=200)
+    train, _ = dataset.split()
+    system = Kamel(KamelConfig()).fit(train)
+    service = StreamingImputationService(
+        system, StreamingConfig(alert_failure_rate=0.5)
+    )
+    feed_sim = TrajectorySimulator(
+        dataset.network,
+        SimulatorConfig(sample_interval_s=15.0, min_trip_length_m=900.0, seed=999),
+    )
+    print("demo stream running (Ctrl-C to stop)", file=sys.stderr)
+    for trajectory in feed_sim.stream(id_prefix="demo"):
+        if deadline is not None and time.monotonic() >= deadline:
+            break
+        service.process(trajectory.sparsify(800.0))
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Run a subcommand with tracing on, then export the span trees."""
+    from repro.obs import clear_spans, enable_tracing, finished_spans
+    from repro.obs.export import chrome_trace_json, spans_to_jsonl
+
+    rest = list(args.rest)
+    if rest and rest[0] == "--":
+        rest = rest[1:]
+    if not rest:
+        print(
+            "usage: kamel trace [--export chrome|jsonl|text] [-o PATH] -- <command ...>",
+            file=sys.stderr,
+        )
+        return 2
+    nested = build_parser().parse_args(rest)
+    enable_tracing()
+    clear_spans()
+    rc = nested.func(nested)
+    roots = finished_spans()
+    if args.export == "chrome":
+        rendered = chrome_trace_json(roots) + "\n"
+    elif args.export == "jsonl":
+        rendered = spans_to_jsonl(roots)
+    else:
+        rendered = "\n".join(root.render() for root in roots) + "\n"
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(rendered)
+        print(
+            f"wrote {len(roots)} span tree(s) to {args.output} "
+            f"({args.export} format)",
+            file=sys.stderr,
+        )
+    else:
+        print(rendered, end="")
+    return rc
+
+
 def _cmd_inspect(args: argparse.Namespace) -> int:
     from repro.io import load_kamel
 
@@ -298,6 +397,42 @@ def build_parser() -> argparse.ArgumentParser:
     p_ins = sub.add_parser("inspect", help="summarize a saved model directory")
     p_ins.add_argument("model_dir", help="directory written by Kamel.save()")
     p_ins.set_defaults(func=_cmd_inspect)
+
+    p_srv = sub.add_parser(
+        "serve-metrics",
+        help="serve /metrics (Prometheus), /healthz, /spans over HTTP",
+    )
+    p_srv.add_argument("--port", type=int, default=9100, help="bind port (0 = ephemeral)")
+    p_srv.add_argument("--host", default="127.0.0.1", help="bind address")
+    p_srv.add_argument(
+        "--demo",
+        action="store_true",
+        help="impute a synthetic live stream while serving, so the endpoint has data",
+    )
+    p_srv.add_argument(
+        "--duration", type=float, default=None, metavar="S",
+        help="stop after S seconds (default: run until Ctrl-C)",
+    )
+    p_srv.set_defaults(func=_cmd_serve_metrics)
+
+    p_trc = sub.add_parser(
+        "trace",
+        help="run a subcommand with tracing on, export spans (Perfetto/JSONL)",
+    )
+    p_trc.add_argument(
+        "--export",
+        choices=("chrome", "jsonl", "text"),
+        default="chrome",
+        help="chrome = trace-event JSON loadable in Perfetto (default)",
+    )
+    p_trc.add_argument("--output", "-o", default=None, help="write here instead of stdout")
+    p_trc.add_argument(
+        "rest",
+        nargs=argparse.REMAINDER,
+        metavar="command ...",
+        help="the kamel subcommand to run traced, e.g. -- compare --dataset porto",
+    )
+    p_trc.set_defaults(func=_cmd_trace)
 
     p_sts = sub.add_parser(
         "stats", help="summarize a metrics snapshot (from --metrics-out)"

@@ -88,6 +88,10 @@ def _record_filter(n_in: int, n_out: int, rejected: dict[str, int]) -> None:
     for reason, n in rejected.items():
         if n:
             obs.count(f"repro.constraints.rejected.{reason}_total", n)
+    # Windowed rejection ratio for the rolling quality monitors: each
+    # candidate contributes one 0/1 bit, so the window weights filter
+    # calls by how many candidates they actually saw.
+    obs.monitors().rejection.extend(n_in - n_out, n_in)
 
 
 class SpatialConstraints:

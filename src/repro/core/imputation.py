@@ -31,7 +31,10 @@ from repro.core.constraints import GapContext, SpatialConstraints
 from repro.core.tokenization import Tokenizer
 from repro.mlm.base import MaskedModel, TokenProb
 from repro.obs import instrument as obs
+from repro.obs.logging import get_logger
 from repro.obs.tracing import span
+
+_log = get_logger("core.imputation")
 
 
 @dataclass(frozen=True)
@@ -171,6 +174,17 @@ class SegmentImputer(abc.ABC):
             obs.count("repro.imputation.failures_total")
             if result.model_calls >= budget:
                 obs.count("repro.imputation.budget_exhausted_total")
+            # DEBUG detail behind the facade's fallback WARNING: which
+            # strategy gave up and how much budget it burned, correlated
+            # to the request by the trace id on the log record.
+            _log.debug(
+                "segment imputation failed",
+                extra={"data": {
+                    "strategy": self.strategy_name,
+                    "model_calls": result.model_calls,
+                    "budget": budget,
+                }},
+            )
         return result
 
     @abc.abstractmethod

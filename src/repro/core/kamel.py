@@ -37,7 +37,7 @@ from repro.mlm.bert import BertMaskedLM, TrainingConfig
 from repro.mlm.counting import CountingMaskedLM
 from repro.obs import instrument as obs
 from repro.obs.logging import get_logger
-from repro.obs.tracing import span
+from repro.obs.tracing import span, trace_scope
 
 _log = get_logger("core.kamel")
 
@@ -212,22 +212,27 @@ class Kamel(Imputer):
         if len(points) < 2:
             return ImputationResult(trajectory, ())
 
-        with span("impute.trajectory", points=len(points)) as sp:
-            with obs.stopwatch("repro.kamel.impute_seconds"):
-                result = self._impute_points(trajectory, points, cfg)
-            sp.set(
-                segments=result.num_segments,
-                failed=result.num_failed,
-                model_calls=result.total_model_calls,
-            )
+        # One request id per impute call; joins an enclosing scope (the
+        # streaming service's) so spans and WARNING logs stay correlated.
+        with trace_scope():
+            with span("impute.trajectory", points=len(points)) as sp:
+                with obs.stopwatch("repro.kamel.impute_seconds"):
+                    result = self._impute_points(trajectory, points, cfg)
+                sp.set(
+                    segments=result.num_segments,
+                    failed=result.num_failed,
+                    model_calls=result.total_model_calls,
+                )
         obs.count("repro.kamel.trajectories_total")
         obs.count("repro.kamel.segments_total", len(points) - 1)
         obs.count("repro.kamel.segments_imputed_total", result.num_segments)
         obs.count("repro.kamel.segments_failed_total", result.num_failed)
         obs.count("repro.kamel.model_calls_total", result.total_model_calls)
-        imputed = obs.counter("repro.kamel.segments_imputed_total").value
-        failed = obs.counter("repro.kamel.segments_failed_total").value
-        obs.gauge("repro.kamel.failure_rate").set(failed / imputed if imputed else 0.0)
+        # The gauge tracks the *windowed* rate so long-lived services reflect
+        # recent behavior; cumulative ratios remain derivable from the
+        # segments_failed_total / segments_imputed_total counters.
+        windowed = obs.monitors().failure.extend(result.num_failed, result.num_segments)
+        obs.gauge("repro.kamel.failure_rate").set(windowed)
         return result
 
     def _impute_points(

@@ -377,7 +377,7 @@ class ModelRepository:
         """The model of the smallest cell or neighbor pair enclosing ``box``."""
         obs.count("repro.partitioning.lookup_total")
         if self.pyramid is None:
-            obs.count("repro.partitioning.lookup_miss_total")
+            self._record_miss()
             return None
         for level in sorted(self.maintained_levels, reverse=True):
             cell = self.pyramid.cell_containing_bbox(box, level)
@@ -388,13 +388,23 @@ class ModelRepository:
             if pair is not None and pair in self._neighbor:
                 self._record_hit("neighbor", level)
                 return self._neighbor[pair]
-        obs.count("repro.partitioning.lookup_miss_total")
+        self._record_miss()
         return None
 
     @staticmethod
     def _record_hit(kind: str, level: int) -> None:
         obs.count(f"repro.partitioning.lookup_hit.{kind}_total")
         obs.observe("repro.partitioning.lookup_hit_level", level)
+        hub = obs.monitors()
+        hub.hit_rate.observe(1.0)
+        hub.hit_level.observe(level)
+
+    @staticmethod
+    def _record_miss() -> None:
+        obs.count("repro.partitioning.lookup_miss_total")
+        hub = obs.monitors()
+        hub.hit_rate.observe(0.0)
+        hub.hit_level.observe(None)
 
     def any_model(self) -> Optional[StoredModel]:
         """Some model, preferring the broadest single-cell one (fallback)."""

@@ -8,6 +8,15 @@ and keeps running operational counters. Imputation never retrains — the
 paper's scalability argument — but fully processed trajectories can be
 fed back as training data in periodic offline batches via
 :meth:`enqueue_for_training` / :meth:`flush_training`.
+
+Operationally the service can expose itself: set
+:attr:`StreamingConfig.metrics_port` and it starts an
+:class:`~repro.obs.server.ObservabilityServer` serving ``/metrics``
+(Prometheus), ``/healthz``, and ``/spans``; set the ``alert_*``
+thresholds and the rolling quality monitors fire WARNING logs when the
+windowed failure rate or processing latency degrades. Every
+:meth:`process` call runs under its own trace id, stamped on all spans
+and log lines it produces.
 """
 
 from __future__ import annotations
@@ -21,7 +30,10 @@ from repro.errors import NotFittedError
 from repro.geo import Trajectory
 from repro.obs import instrument as obs
 from repro.obs.logging import get_logger
-from repro.obs.tracing import span
+from repro.obs.monitor import RollingMonitor
+from repro.obs.server import ObservabilityServer
+from repro.obs.tracing import span, trace_scope
+
 from repro.preprocess import KalmanSmoother, remove_outliers, split_by_time_gap
 
 _log = get_logger("core.streaming")
@@ -72,6 +84,15 @@ class StreamingConfig:
     min_trip_points: int = 2
     training_batch_size: int = 50
     """`enqueue_for_training` triggers an offline batch at this size."""
+    metrics_port: Optional[int] = None
+    """Serve /metrics, /healthz, /spans on this localhost port (0 picks a
+    free ephemeral port); None (default) starts no endpoint."""
+    alert_failure_rate: Optional[float] = None
+    """WARN when the windowed segment failure rate exceeds this."""
+    alert_latency_s: Optional[float] = None
+    """WARN when the windowed mean process() latency exceeds this (seconds)."""
+    alert_min_observations: int = 20
+    """Observations a rolling window needs before its alerts can fire."""
 
 
 class StreamingImputationService:
@@ -89,6 +110,81 @@ class StreamingImputationService:
         self.stats = StreamStats()
         self._smoother = KalmanSmoother()
         self._training_queue: list[Trajectory] = []
+        self.active_alerts: set[str] = set()
+        self._wire_alerts()
+        self.metrics_server: Optional[ObservabilityServer] = None
+        if self.config.metrics_port is not None:
+            self.metrics_server = ObservabilityServer(
+                port=self.config.metrics_port
+            ).start()
+
+    # -- telemetry endpoint & alerts ---------------------------------------
+
+    @property
+    def metrics_url(self) -> Optional[str]:
+        """Base URL of the running telemetry endpoint (None if disabled)."""
+        if self.metrics_server is None:
+            return None
+        return self.metrics_server.url
+
+    def close(self) -> None:
+        """Stop the telemetry endpoint (idempotent; the service remains usable)."""
+        if self.metrics_server is not None:
+            self.metrics_server.stop()
+            self.metrics_server = None
+
+    def __enter__(self) -> "StreamingImputationService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _wire_alerts(self) -> None:
+        """Attach the configured thresholds to the rolling monitors.
+
+        Alerts are edge-triggered: one WARNING when a windowed value
+        crosses its limit, one INFO when it recovers; ``active_alerts``
+        holds the currently-breached monitor names so callers can shed
+        load or stop enqueueing while degraded.
+        """
+        cfg = self.config
+        hub = obs.monitors()
+        pairs = []
+        if cfg.alert_failure_rate is not None:
+            pairs.append((hub.failure, cfg.alert_failure_rate))
+        if cfg.alert_latency_s is not None:
+            pairs.append((hub.latency, cfg.alert_latency_s))
+        for monitor, limit in pairs:
+            monitor.add_threshold(
+                limit,
+                self._on_alert,
+                min_count=cfg.alert_min_observations,
+                on_clear=self._on_alert_cleared,
+            )
+
+    def _on_alert(self, monitor: RollingMonitor, value: float) -> None:
+        self.active_alerts.add(monitor.name)
+        obs.count("repro.streaming.alerts_total")
+        _log.warning(
+            "rolling monitor above threshold",
+            extra={"data": {
+                "monitor": monitor.name,
+                "value": round(value, 6),
+                "window": monitor.count,
+            }},
+        )
+
+    def _on_alert_cleared(self, monitor: RollingMonitor, value: float) -> None:
+        self.active_alerts.discard(monitor.name)
+        _log.info(
+            "rolling monitor recovered",
+            extra={"data": {"monitor": monitor.name, "value": round(value, 6)}},
+        )
+
+    @property
+    def degraded(self) -> bool:
+        """Whether any configured rolling-monitor threshold is breached."""
+        return bool(self.active_alerts)
 
     # -- the hot path -----------------------------------------------------
 
@@ -104,22 +200,26 @@ class StreamingImputationService:
 
         The wall time recorded into ``StreamStats.processing_seconds`` and
         the ``repro.streaming.process_seconds`` histogram come from the
-        same stopwatch, so the legacy fields and the registry agree.
+        same stopwatch, so the legacy fields and the registry agree. The
+        whole call runs under one request trace id, inherited by the
+        per-trip ``Kamel.impute`` scopes.
         """
-        with span("streaming.process", points=len(trajectory)):
-            with obs.stopwatch("repro.streaming.process_seconds") as sw:
-                self.stats.trajectories_in += 1
-                self.stats.points_in += len(trajectory)
-                results = []
-                for trip in self._clean(trajectory):
-                    result = self.system.impute(trip)
-                    results.append(result)
-                    self.stats.trips_out += 1
-                    self.stats.points_out += len(result.trajectory)
-                    self.stats.segments += result.num_segments
-                    self.stats.failed_segments += result.num_failed
-                    self.stats.model_calls += result.total_model_calls
+        with trace_scope():
+            with span("streaming.process", points=len(trajectory)):
+                with obs.stopwatch("repro.streaming.process_seconds") as sw:
+                    self.stats.trajectories_in += 1
+                    self.stats.points_in += len(trajectory)
+                    results = []
+                    for trip in self._clean(trajectory):
+                        result = self.system.impute(trip)
+                        results.append(result)
+                        self.stats.trips_out += 1
+                        self.stats.points_out += len(result.trajectory)
+                        self.stats.segments += result.num_segments
+                        self.stats.failed_segments += result.num_failed
+                        self.stats.model_calls += result.total_model_calls
         self.stats.processing_seconds += sw.seconds
+        obs.monitors().latency.observe(sw.seconds)
         obs.count("repro.streaming.trajectories_in_total")
         obs.count("repro.streaming.points_in_total", len(trajectory))
         obs.count("repro.streaming.trips_out_total", len(results))

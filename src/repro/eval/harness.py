@@ -24,7 +24,7 @@ from repro.eval.metrics import (
 )
 from repro.geo import Point, Trajectory
 from repro.obs import instrument as obs
-from repro.obs.tracing import span
+from repro.obs.tracing import span, trace_scope
 from repro.roadnet.datasets import Dataset
 
 
@@ -207,9 +207,10 @@ class ExperimentRunner:
         recorded into the ``repro.eval.train_seconds`` histogram, so the
         figure scripts and the metrics snapshot report one measurement."""
         if name not in self._trained:
-            with span("eval.train", method=name, workload=self.workload.name):
-                with obs.stopwatch("repro.eval.train_seconds") as sw:
-                    imputer = builder(self.workload)
+            with trace_scope():
+                with span("eval.train", method=name, workload=self.workload.name):
+                    with obs.stopwatch("repro.eval.train_seconds") as sw:
+                        imputer = builder(self.workload)
             self._trained[name] = (imputer, sw.seconds)
         return self._trained[name]
 
@@ -218,11 +219,12 @@ class ExperimentRunner:
     ]:
         if name not in self._imputed:
             imputer, _ = self.train(name, builder)
-            with span("eval.impute", method=name, workload=self.workload.name):
-                with obs.stopwatch("repro.eval.impute_seconds") as sw:
-                    results = tuple(
-                        imputer.impute_batch(list(self.workload.test_sparse))
-                    )
+            with trace_scope():
+                with span("eval.impute", method=name, workload=self.workload.name):
+                    with obs.stopwatch("repro.eval.impute_seconds") as sw:
+                        results = tuple(
+                            imputer.impute_batch(list(self.workload.test_sparse))
+                        )
             self._imputed[name] = (results, sw.seconds)
         return self._imputed[name]
 

@@ -1,25 +1,36 @@
-"""Observability for the KAMEL pipeline: metrics, tracing, logging.
+"""Observability for the KAMEL pipeline: metrics, tracing, logging, export.
 
-Four dependency-free modules:
+Seven dependency-free modules:
 
 * :mod:`repro.obs.metrics` — a process-local :class:`MetricsRegistry` of
   counters, gauges, and histograms (fixed buckets + streaming quantiles),
   with snapshot/reset and JSON export;
+* :mod:`repro.obs.monitor` — rolling-window quality monitors (windowed
+  failure rate, latency, rejection ratio, pyramid hit rate) with
+  edge-triggered threshold callbacks, one :class:`MonitorHub` per
+  registry;
 * :mod:`repro.obs.tracing` — nestable :func:`span` context managers that
-  build per-operation span trees, free when disabled (the default);
+  build per-operation span trees, free when disabled (the default), plus
+  request-scoped :func:`trace_scope` ids correlating spans and logs;
 * :mod:`repro.obs.logging` — the structured ``repro`` logger hierarchy
-  (key=value or JSON-lines formatting);
+  (key=value or JSON-lines formatting, trace ids stamped on every line);
+* :mod:`repro.obs.export` — Prometheus text exposition for the registry
+  and Chrome-trace / JSONL exporters for span trees;
+* :mod:`repro.obs.server` — a background ``/metrics`` + ``/healthz`` +
+  ``/spans`` HTTP endpoint (:class:`ObservabilityServer`);
 * :mod:`repro.obs.instrument` — the integration layer the pipeline
   modules import: the canonical metric-name catalog, stopwatches, and
   decorators.
 
 Quick look at what a run did::
 
-    from repro.obs import get_registry
+    from repro.obs import get_registry, render_prometheus
     system.impute_batch(sparse)
     print(get_registry().to_json())
+    print(render_prometheus())     # same registry, scrape format
 
-See ``docs/observability.md`` for the metric catalog and span hierarchy.
+See ``docs/observability.md`` for the metric catalog, span hierarchy,
+and the exporting/monitoring walkthrough.
 """
 
 from repro.obs.logging import configure_logging, get_logger
@@ -31,37 +42,80 @@ from repro.obs.metrics import (
     get_registry,
     set_registry,
 )
+from repro.obs.monitor import (
+    LevelWindow,
+    MonitorHub,
+    RollingMonitor,
+    RollingWindow,
+    Threshold,
+)
 from repro.obs.tracing import (
     Span,
     clear_spans,
+    current_trace_id,
     disable_tracing,
     enable_tracing,
     finished_spans,
     get_tracer,
+    new_trace_id,
     span,
+    trace_scope,
     tracing_enabled,
 )
-from repro.obs.instrument import METRIC_CATALOG, Stopwatch, stopwatch, timed
+from repro.obs.export import (
+    chrome_trace_json,
+    prometheus_name,
+    render_prometheus,
+    spans_to_chrome_trace,
+    spans_to_jsonl,
+    write_chrome_trace,
+    write_spans_jsonl,
+)
+from repro.obs.server import ObservabilityServer
+from repro.obs.instrument import (
+    METRIC_CATALOG,
+    Stopwatch,
+    monitors,
+    stopwatch,
+    timed,
+)
 
 __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "LevelWindow",
     "METRIC_CATALOG",
     "MetricsRegistry",
+    "MonitorHub",
+    "ObservabilityServer",
+    "RollingMonitor",
+    "RollingWindow",
     "Span",
     "Stopwatch",
+    "Threshold",
+    "chrome_trace_json",
     "clear_spans",
     "configure_logging",
+    "current_trace_id",
     "disable_tracing",
     "enable_tracing",
     "finished_spans",
     "get_logger",
     "get_registry",
     "get_tracer",
+    "monitors",
+    "new_trace_id",
+    "prometheus_name",
+    "render_prometheus",
     "set_registry",
     "span",
+    "spans_to_chrome_trace",
+    "spans_to_jsonl",
     "stopwatch",
     "timed",
+    "trace_scope",
     "tracing_enabled",
+    "write_chrome_trace",
+    "write_spans_jsonl",
 ]

@@ -1,0 +1,223 @@
+"""Telemetry exporters: Prometheus text exposition and trace files.
+
+Everything the pipeline records — the :class:`~repro.obs.metrics.MetricsRegistry`
+and the span trees from :mod:`repro.obs.tracing` — stays process-local
+until something exports it. This module provides the three formats the
+rest of the observability stack (collectors, trace viewers, diffing
+scripts) consumes, dependency-free:
+
+* :func:`render_prometheus` — the Prometheus text exposition format
+  (version 0.0.4), with ``# HELP`` lines sourced from the instrument
+  catalog and histograms rendered as native cumulative ``le`` buckets
+  plus a separate ``_quantile`` gauge family for the P² estimates;
+* :func:`spans_to_chrome_trace` — the Chrome trace-event JSON format
+  (``ph: "X"`` complete events, microsecond timestamps), loadable
+  directly in ``chrome://tracing`` or Perfetto (https://ui.perfetto.dev);
+* :func:`spans_to_jsonl` — one JSON span tree per line, greppable by
+  ``trace_id`` and diffable across runs.
+
+The HTTP side (``/metrics`` for scraping) lives in
+:mod:`repro.obs.server`; the CLI side (``kamel trace --export chrome``)
+in :mod:`repro.cli`.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from typing import Any, Iterable, Optional, Sequence
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+)
+from repro.obs.tracing import Span, finished_spans
+
+__all__ = [
+    "prometheus_name",
+    "render_prometheus",
+    "spans_to_chrome_trace",
+    "chrome_trace_json",
+    "write_chrome_trace",
+    "spans_to_jsonl",
+    "write_spans_jsonl",
+    "CONTENT_TYPE_PROMETHEUS",
+]
+
+
+CONTENT_TYPE_PROMETHEUS = "text/plain; version=0.0.4; charset=utf-8"
+"""The Content-Type a /metrics response must declare."""
+
+_INVALID_NAME_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def prometheus_name(name: str) -> str:
+    """The catalog name mapped into the Prometheus metric-name charset.
+
+    Dots (our module separators) and anything else outside
+    ``[a-zA-Z0-9_:]`` become underscores: ``repro.kamel.failure_rate`` →
+    ``repro_kamel_failure_rate``. A leading digit gets an underscore
+    prefix.
+    """
+    out = _INVALID_NAME_CHARS.sub("_", name)
+    if out and out[0].isdigit():
+        out = "_" + out
+    return out
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_number(value: float) -> str:
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_le(edge: float) -> str:
+    return "+Inf" if math.isinf(edge) else _format_number(edge)
+
+
+def _render_scalar(lines: list[str], metric, kind: str) -> None:
+    name = prometheus_name(metric.name)
+    if metric.description:
+        lines.append(f"# HELP {name} {_escape_help(metric.description)}")
+    lines.append(f"# TYPE {name} {kind}")
+    lines.append(f"{name} {_format_number(metric.value)}")
+
+
+def _render_histogram(lines: list[str], metric: Histogram) -> None:
+    name = prometheus_name(metric.name)
+    if metric.description:
+        lines.append(f"# HELP {name} {_escape_help(metric.description)}")
+    lines.append(f"# TYPE {name} histogram")
+    for edge, cumulative in metric.bucket_counts().items():
+        le = _escape_label_value(_format_le(edge))
+        lines.append(f'{name}_bucket{{le="{le}"}} {cumulative}')
+    lines.append(f"{name}_sum {_format_number(metric.sum)}")
+    lines.append(f"{name}_count {metric.count}")
+    # The P² streaming estimates ride along as a separate gauge family —
+    # native Prometheus histograms have no quantile series, and mixing
+    # summary-style lines into a histogram family is invalid exposition.
+    quantile_lines = []
+    for p in metric.tracked_quantiles:
+        estimate = metric.quantile(p)
+        if estimate is None:
+            continue
+        label = _escape_label_value(_format_number(p))
+        quantile_lines.append(
+            f'{name}_quantile{{quantile="{label}"}} {_format_number(estimate)}'
+        )
+    if quantile_lines:
+        lines.append(f"# TYPE {name}_quantile gauge")
+        lines.extend(quantile_lines)
+
+
+def render_prometheus(registry: Optional[MetricsRegistry] = None) -> str:
+    """The whole registry in Prometheus text exposition format.
+
+    Deterministic (metrics sorted by name) and always newline-terminated,
+    as scrapers expect. An empty registry renders to an empty document.
+    """
+    # Explicit None check: an empty registry is falsy (it has __len__),
+    # and must not silently fall back to the global one.
+    if registry is None:
+        registry = get_registry()
+    lines: list[str] = []
+    for metric in registry.metrics():
+        if isinstance(metric, Counter):
+            _render_scalar(lines, metric, "counter")
+        elif isinstance(metric, Gauge):
+            _render_scalar(lines, metric, "gauge")
+        elif isinstance(metric, Histogram):
+            _render_histogram(lines, metric)
+    if not lines:
+        return ""
+    return "\n".join(lines) + "\n"
+
+
+# -- span exporters ----------------------------------------------------------
+
+
+def _span_args(span_obj: Span) -> dict[str, Any]:
+    args: dict[str, Any] = dict(span_obj.attributes)
+    if span_obj.trace_id is not None:
+        args["trace_id"] = span_obj.trace_id
+    if span_obj.error is not None:
+        args["error"] = span_obj.error
+    return args
+
+
+def spans_to_chrome_trace(roots: Optional[Iterable[Span]] = None) -> dict[str, Any]:
+    """Finished span trees as a Chrome trace-event JSON document.
+
+    Each span becomes one complete event (``ph: "X"``) with microsecond
+    ``ts``/``dur``; parent/child nesting is preserved because a child's
+    interval lies inside its parent's on the same ``tid`` lane (spans
+    record the OS thread they ran on). Timestamps are rebased to the
+    earliest root so the trace starts at zero.
+    """
+    roots = finished_spans() if roots is None else list(roots)
+    events: list[dict[str, Any]] = [
+        {"ph": "M", "pid": 1, "name": "process_name", "args": {"name": "kamel"}},
+    ]
+    if not roots:
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+    origin_s = min(r.start_s for r in roots)
+    tids: dict[int, int] = {}
+    for root in roots:
+        for span_obj in root.walk():
+            tid = tids.setdefault(span_obj.thread_id, len(tids) + 1)
+            end_s = span_obj.end_s if span_obj.end_s is not None else span_obj.start_s
+            event: dict[str, Any] = {
+                "name": span_obj.name,
+                "ph": "X",
+                "ts": round((span_obj.start_s - origin_s) * 1e6, 3),
+                "dur": round((end_s - span_obj.start_s) * 1e6, 3),
+                "pid": 1,
+                "tid": tid,
+            }
+            args = _span_args(span_obj)
+            if args:
+                event["args"] = args
+            events.append(event)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def chrome_trace_json(roots: Optional[Iterable[Span]] = None, indent: int = 2) -> str:
+    return json.dumps(spans_to_chrome_trace(roots), indent=indent, default=str)
+
+
+def write_chrome_trace(path, roots: Optional[Iterable[Span]] = None) -> None:
+    """Write a trace file loadable in Perfetto / ``chrome://tracing``."""
+    with open(path, "w") as handle:
+        handle.write(chrome_trace_json(roots))
+        handle.write("\n")
+
+
+def spans_to_jsonl(roots: Optional[Iterable[Span]] = None) -> str:
+    """One JSON object per root span tree (children nested), one per line.
+
+    The flat-file companion to the Chrome export: ``grep`` a trace id to
+    pull out one request, ``jq`` to slice durations across a run.
+    """
+    roots = finished_spans() if roots is None else list(roots)
+    return "".join(json.dumps(root.to_dict(), default=str) + "\n" for root in roots)
+
+
+def write_spans_jsonl(path, roots: Optional[Iterable[Span]] = None) -> None:
+    with open(path, "w") as handle:
+        handle.write(spans_to_jsonl(roots))

@@ -28,6 +28,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
     get_registry,
 )
+from repro.obs.monitor import MonitorHub
 from repro.obs.tracing import span
 
 __all__ = [
@@ -37,6 +38,7 @@ __all__ = [
     "histogram",
     "count",
     "observe",
+    "monitors",
     "Stopwatch",
     "stopwatch",
     "timed",
@@ -57,7 +59,7 @@ METRIC_CATALOG: dict[str, str] = {
     "repro.kamel.fallback.endpoint_unseen_total": "Fallbacks: an endpoint cell never seen in training.",
     "repro.kamel.fallback.no_model_total": "Fallbacks: no repository model covers the segment.",
     "repro.kamel.fallback.search_failed_total": "Fallbacks: search starved or budget exhausted.",
-    "repro.kamel.failure_rate": "Running failure rate: segments_failed_total / segments_imputed_total (the paper's Section 8 metric).",
+    "repro.kamel.failure_rate": "Windowed failure rate over the most recent imputed segments (the paper's Section 8 metric); cumulative = segments_failed_total / segments_imputed_total.",
     "repro.kamel.model_calls_total": "Masked-model calls across all segments.",
     "repro.kamel.training_trajectories_total": "Trajectories ingested by fit/add_training.",
     # -- multipoint imputation (core.imputation) --------------------------
@@ -106,9 +108,12 @@ METRIC_CATALOG: dict[str, str] = {
     "repro.streaming.points_out_total": "Points emitted after imputation.",
     "repro.streaming.process_seconds": "Wall time of one service.process call.",
     "repro.streaming.training_flushes_total": "Offline enrichment batches flushed.",
+    "repro.streaming.alerts_total": "Rolling-monitor threshold alerts fired by the service.",
     # -- evaluation harness (eval.harness) --------------------------------
     "repro.eval.train_seconds": "Harness: training one method on one workload.",
     "repro.eval.impute_seconds": "Harness: imputing one workload's test set.",
+    # -- observability endpoint (obs.server) ------------------------------
+    "repro.obs.scrapes_total": "GET /metrics requests served by the endpoint.",
 }
 """Every metric the pipeline emits, with its meaning (the name registry
 ``docs/observability.md`` renders; tests assert emitted names appear here)."""
@@ -134,21 +139,27 @@ def _buckets_for(name: str) -> Sequence[float]:
     return LATENCY_BUCKETS
 
 
+def _resolve(registry: Optional[MetricsRegistry]) -> MetricsRegistry:
+    # Explicit None check: an empty registry is falsy (it has __len__),
+    # and must not silently fall back to the global one.
+    return get_registry() if registry is None else registry
+
+
 def counter(name: str, registry: Optional[MetricsRegistry] = None) -> Counter:
     """The catalog counter ``name`` in the default (or given) registry."""
-    return (registry or get_registry()).counter(name, catalog_description(name))
+    return _resolve(registry).counter(name, catalog_description(name))
 
 
 def histogram(name: str, registry: Optional[MetricsRegistry] = None) -> Histogram:
     """The catalog histogram ``name``, with buckets chosen by its kind."""
-    return (registry or get_registry()).histogram(
+    return _resolve(registry).histogram(
         name, catalog_description(name), buckets=_buckets_for(name)
     )
 
 
 def gauge(name: str, registry: Optional[MetricsRegistry] = None) -> Gauge:
     """The catalog gauge ``name`` in the default (or given) registry."""
-    return (registry or get_registry()).gauge(name, catalog_description(name))
+    return _resolve(registry).gauge(name, catalog_description(name))
 
 
 def count(name: str, amount: float = 1) -> None:
@@ -159,6 +170,11 @@ def count(name: str, amount: float = 1) -> None:
 def observe(name: str, value: float) -> None:
     """Record one observation into a catalog histogram."""
     histogram(name).observe(value)
+
+
+def monitors(registry: Optional[MetricsRegistry] = None) -> MonitorHub:
+    """The rolling quality monitors of the default (or given) registry."""
+    return _resolve(registry).monitors
 
 
 class Stopwatch:

@@ -23,10 +23,13 @@ import logging
 import sys
 from typing import IO, Any, Mapping, Optional, Union
 
+from repro.obs.tracing import current_trace_id
+
 __all__ = [
     "ROOT_LOGGER_NAME",
     "KeyValueFormatter",
     "JsonLinesFormatter",
+    "TraceIdFilter",
     "get_logger",
     "configure_logging",
 ]
@@ -48,6 +51,29 @@ def _record_data(record: logging.LogRecord) -> Mapping[str, Any]:
     return data if isinstance(data, Mapping) else {}
 
 
+class TraceIdFilter(logging.Filter):
+    """Stamp each record with the emitting thread's active trace id.
+
+    Attached by :func:`configure_logging`, so every ``repro.*`` record —
+    most importantly the segment-fallback WARNINGs — carries the request
+    id of the ``trace_scope`` it was emitted under. Runs at emit time on
+    the logging thread, which is what makes the thread-local correct even
+    when a handler formats records later.
+    """
+
+    def filter(self, record: logging.LogRecord) -> bool:
+        if getattr(record, "trace_id", None) is None:
+            record.trace_id = current_trace_id()
+        return True
+
+
+def _record_trace_id(record: logging.LogRecord) -> Optional[str]:
+    """The record's stamped trace id, falling back to the live thread-local
+    (covers records formatted without passing through TraceIdFilter)."""
+    stamped = getattr(record, "trace_id", None)
+    return stamped if stamped is not None else current_trace_id()
+
+
 def _format_value(value: Any) -> str:
     if isinstance(value, float):
         return f"{value:.6g}"
@@ -67,6 +93,9 @@ class KeyValueFormatter(logging.Formatter):
             f"logger={record.name}",
             f"msg={json.dumps(record.getMessage())}",
         ]
+        trace_id = _record_trace_id(record)
+        if trace_id is not None:
+            parts.append(f"trace_id={trace_id}")
         parts.extend(f"{k}={_format_value(v)}" for k, v in _record_data(record).items())
         if record.exc_info:
             parts.append(f"exc={json.dumps(self.formatException(record.exc_info))}")
@@ -83,6 +112,9 @@ class JsonLinesFormatter(logging.Formatter):
             "logger": record.name,
             "msg": record.getMessage(),
         }
+        trace_id = _record_trace_id(record)
+        if trace_id is not None:
+            out["trace_id"] = trace_id
         data = _record_data(record)
         if data:
             out["data"] = dict(data)
@@ -126,6 +158,7 @@ def configure_logging(
     handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
     handler.setLevel(level)
     handler.setFormatter(KeyValueFormatter() if fmt == "kv" else JsonLinesFormatter())
+    handler.addFilter(TraceIdFilter())
     handler._repro_structured = True  # type: ignore[attr-defined]
     root.addHandler(handler)
     root.propagate = False

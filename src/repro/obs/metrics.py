@@ -24,6 +24,8 @@ import threading
 from bisect import bisect_left, insort
 from typing import Iterable, Mapping, Optional, Sequence, Union
 
+from repro.obs.monitor import MonitorHub
+
 __all__ = [
     "Counter",
     "Gauge",
@@ -254,6 +256,11 @@ class Histogram:
     def max(self) -> Optional[float]:
         return self._max if self._count else None
 
+    @property
+    def tracked_quantiles(self) -> tuple[float, ...]:
+        """The quantile points with dedicated P² estimators, ascending."""
+        return tuple(sorted(self._quantiles))
+
     def quantile(self, p: float) -> Optional[float]:
         """The streaming estimate for ``p``, or a bucket interpolation.
 
@@ -334,6 +341,10 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._metrics: dict[str, Metric] = {}
         self._lock = threading.Lock()
+        #: The registry's rolling quality monitors (windowed failure rate,
+        #: latency, …) — swapped and reset together with the metrics, so
+        #: tests that isolate a registry isolate the windows too.
+        self.monitors = MonitorHub()
 
     # -- creation / lookup ---------------------------------------------------
 
@@ -374,6 +385,11 @@ class MetricsRegistry:
     def names(self) -> list[str]:
         return sorted(self._metrics)
 
+    def metrics(self) -> list[Metric]:
+        """The live metric objects, sorted by name (exporters read these)."""
+        with self._lock:
+            return [metric for _, metric in sorted(self._metrics.items())]
+
     def __contains__(self, name: str) -> bool:
         return name in self._metrics
 
@@ -401,12 +417,19 @@ class MetricsRegistry:
             handle.write("\n")
 
     def reset(self, prefix: str = "") -> None:
-        """Zero metric values in place (handles stay valid)."""
+        """Zero metric values in place (handles stay valid).
+
+        A full reset (no prefix) also empties the rolling monitor windows;
+        a prefixed reset leaves them alone, since monitors aggregate
+        across metric families.
+        """
         with self._lock:
             metrics = list(self._metrics.values())
         for metric in metrics:
             if metric.name.startswith(prefix):
                 metric.reset()
+        if not prefix:
+            self.monitors.reset()
 
     def __repr__(self) -> str:
         return f"MetricsRegistry({len(self._metrics)} metrics)"

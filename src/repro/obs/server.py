@@ -1,0 +1,194 @@
+"""A background HTTP endpoint exposing live telemetry.
+
+:class:`ObservabilityServer` serves three read-only routes off a daemon
+thread, stdlib ``http.server`` only:
+
+* ``GET /metrics``  — the registry in Prometheus text exposition format
+  (scrape it with ``curl`` or point a Prometheus job at it);
+* ``GET /healthz``  — JSON liveness: status, uptime, scrape count, and
+  the rolling quality monitors (windowed failure rate, latency, …);
+* ``GET /spans``    — collected span trees as Chrome trace-event JSON
+  (save the response and load it in Perfetto), or ``?format=jsonl`` for
+  the line-oriented form.
+
+The server binds ``127.0.0.1`` by default (telemetry is not
+authenticated; bind a public interface only behind something that is)
+and ``port=0`` picks a free ephemeral port — what
+:class:`~repro.core.streaming.StreamingImputationService` uses so tests
+and demos never collide. Handler logging goes through the ``repro``
+logger at DEBUG, never stderr.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+from urllib.parse import parse_qs, urlparse
+
+from repro.obs import instrument as obs
+from repro.obs.export import (
+    CONTENT_TYPE_PROMETHEUS,
+    chrome_trace_json,
+    render_prometheus,
+    spans_to_jsonl,
+)
+from repro.obs.logging import get_logger
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.tracing import finished_spans
+
+__all__ = ["ObservabilityServer"]
+
+_log = get_logger("obs.server")
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes one request against the owning server's registry."""
+
+    server: "_ObsHTTPServer"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ----------------------------------------------------------
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002 — stdlib signature
+        _log.debug(
+            "http request",
+            extra={"data": {"client": self.address_string(), "line": format % args}},
+        )
+
+    def _respond(self, status: int, body: str, content_type: str) -> None:
+        payload = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    # -- routes ------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 — stdlib dispatch name
+        parsed = urlparse(self.path)
+        route = parsed.path.rstrip("/") or "/"
+        if route == "/metrics":
+            obs.count("repro.obs.scrapes_total")
+            self._respond(
+                200, render_prometheus(self.server.registry), CONTENT_TYPE_PROMETHEUS
+            )
+        elif route == "/healthz":
+            body = json.dumps(
+                {
+                    "status": "ok",
+                    "uptime_s": round(time.monotonic() - self.server.started_monotonic, 3),
+                    "metrics": len(self.server.registry),
+                    "monitors": self.server.registry.monitors.to_dict(),
+                },
+                default=float,
+            )
+            self._respond(200, body, "application/json; charset=utf-8")
+        elif route == "/spans":
+            query = parse_qs(parsed.query)
+            fmt = (query.get("format") or ["chrome"])[0]
+            roots = finished_spans()
+            if fmt == "jsonl":
+                self._respond(200, spans_to_jsonl(roots), "application/x-ndjson")
+            else:
+                self._respond(
+                    200, chrome_trace_json(roots), "application/json; charset=utf-8"
+                )
+        else:
+            self._respond(404, "not found: try /metrics, /healthz, /spans\n", "text/plain")
+
+
+class _ObsHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    registry: MetricsRegistry
+    started_monotonic: float
+
+
+class ObservabilityServer:
+    """The scrape endpoint a long-running service (or demo) hangs out.
+
+    Usage::
+
+        server = ObservabilityServer(port=0).start()
+        print(server.url)           # e.g. http://127.0.0.1:49537
+        ...
+        server.stop()
+
+    Also a context manager. ``registry=None`` serves the process-default
+    registry, re-read on every request — so a registry swapped in later
+    is *not* picked up; pass the registry explicitly to pin one.
+    """
+
+    def __init__(
+        self,
+        port: int = 0,
+        host: str = "127.0.0.1",
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self._requested_port = port
+        self.host = host
+        self._registry = registry
+        self._httpd: Optional[_ObsHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "ObservabilityServer":
+        if self._httpd is not None:
+            return self
+        httpd = _ObsHTTPServer((self.host, self._requested_port), _Handler)
+        # Explicit None check: an empty registry is falsy (it has __len__).
+        httpd.registry = get_registry() if self._registry is None else self._registry
+        httpd.started_monotonic = time.monotonic()
+        self._httpd = httpd
+        self._thread = threading.Thread(
+            target=httpd.serve_forever,
+            name=f"obs-server:{self.port}",
+            daemon=True,
+        )
+        self._thread.start()
+        _log.info(
+            "observability endpoint up",
+            extra={"data": {"url": self.url}},
+        )
+        return self
+
+    def stop(self) -> None:
+        if self._httpd is None:
+            return
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self._httpd = None
+        self._thread = None
+
+    def __enter__(self) -> "ObservabilityServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        return self._httpd is not None
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` to the ephemeral pick)."""
+        if self._httpd is None:
+            return self._requested_port
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def __repr__(self) -> str:
+        state = "running" if self.running else "stopped"
+        return f"ObservabilityServer({self.url}, {state})"

@@ -15,12 +15,22 @@ and serializable with :meth:`Span.to_dict`.
 Spans nest per-thread (a thread-local stack), exception-safely: a span
 that exits through an exception is closed, marked with the exception
 type, and re-raises.
+
+**Trace IDs** tie one request's telemetry together: entry points
+(``Kamel.impute``, ``StreamingImputationService.process``, the eval
+harness) open a :func:`trace_scope`, and every span opened — and every
+log line emitted via :mod:`repro.obs.logging` — inside that scope
+carries the scope's id. Scopes are thread-local and independent of
+whether span *collection* is enabled, so logs stay correlated even with
+tracing off.
 """
 
 from __future__ import annotations
 
 import threading
 import time
+import uuid
+from contextlib import contextmanager
 from typing import Any, Iterator, Optional
 
 __all__ = [
@@ -33,21 +43,39 @@ __all__ = [
     "tracing_enabled",
     "finished_spans",
     "clear_spans",
+    "new_trace_id",
+    "current_trace_id",
+    "trace_scope",
 ]
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex-char request id (random, collision-negligible)."""
+    return uuid.uuid4().hex[:16]
 
 
 class Span:
     """One timed region of the pipeline, with attributes and children."""
 
-    __slots__ = ("name", "attributes", "children", "start_s", "end_s", "error")
+    __slots__ = (
+        "name", "attributes", "children", "start_s", "end_s", "error",
+        "trace_id", "thread_id",
+    )
 
-    def __init__(self, name: str, attributes: Optional[dict[str, Any]] = None) -> None:
+    def __init__(
+        self,
+        name: str,
+        attributes: Optional[dict[str, Any]] = None,
+        trace_id: Optional[str] = None,
+    ) -> None:
         self.name = name
         self.attributes: dict[str, Any] = attributes or {}
         self.children: list[Span] = []
         self.start_s = time.perf_counter()
         self.end_s: Optional[float] = None
         self.error: Optional[str] = None
+        self.trace_id = trace_id
+        self.thread_id = threading.get_ident()
 
     @property
     def duration_s(self) -> Optional[float]:
@@ -75,6 +103,8 @@ class Span:
             "name": self.name,
             "duration_s": self.duration_s,
         }
+        if self.trace_id is not None:
+            out["trace_id"] = self.trace_id
         if self.attributes:
             out["attributes"] = dict(self.attributes)
         if self.error is not None:
@@ -119,7 +149,7 @@ class _SpanContext:
 
     def __init__(self, tracer: "Tracer", name: str, attributes: dict[str, Any]) -> None:
         self._tracer = tracer
-        self._span = Span(name, attributes)
+        self._span = Span(name, attributes, trace_id=tracer.current_trace_id())
 
     def __enter__(self) -> Span:
         self._tracer._push(self._span)
@@ -183,6 +213,15 @@ class Tracer:
         stack = getattr(self._local, "stack", None)
         return stack[-1] if stack else None
 
+    # -- trace ids -----------------------------------------------------------
+
+    def current_trace_id(self) -> Optional[str]:
+        """This thread's active request id (None outside any trace scope)."""
+        return getattr(self._local, "trace_id", None)
+
+    def set_trace_id(self, trace_id: Optional[str]) -> None:
+        self._local.trace_id = trace_id
+
     # -- inspection ----------------------------------------------------------
 
     def finished(self) -> list[Span]:
@@ -224,6 +263,31 @@ def disable_tracing() -> None:
 
 def tracing_enabled() -> bool:
     return _tracer.enabled
+
+
+def current_trace_id() -> Optional[str]:
+    """The calling thread's active request id, if a trace scope is open."""
+    return _tracer.current_trace_id()
+
+
+@contextmanager
+def trace_scope(trace_id: Optional[str] = None, *, inherit: bool = True):
+    """Bind a request id to the calling thread for the block's duration.
+
+    Every span opened and every ``repro.*`` log record emitted inside the
+    block carries the id. With ``inherit`` (the default), entering a
+    scope inside another one keeps the outer id — so the streaming
+    service opens the scope and ``Kamel.impute`` joins it — while
+    ``inherit=False`` forces a fresh id. Yields the active id.
+    """
+    previous = _tracer.current_trace_id()
+    if trace_id is None:
+        trace_id = previous if (inherit and previous is not None) else new_trace_id()
+    _tracer.set_trace_id(trace_id)
+    try:
+        yield trace_id
+    finally:
+        _tracer.set_trace_id(previous)
 
 
 def finished_spans() -> list[Span]:

@@ -59,6 +59,29 @@ class TestCli:
         args = build_parser().parse_args(["figure", "fig9", "--full"])
         assert args.name == "fig9" and args.full
 
+    def test_serve_metrics_parser_defaults(self):
+        args = build_parser().parse_args(["serve-metrics"])
+        assert args.port == 9100
+        assert args.host == "127.0.0.1"
+        assert not args.demo
+
+    def test_trace_parser_collects_remainder(self):
+        args = build_parser().parse_args(
+            ["trace", "--export", "jsonl", "--", "compare", "--dataset", "porto"]
+        )
+        assert args.export == "jsonl"
+        assert args.rest == ["--", "compare", "--dataset", "porto"]
+
+    def test_trace_requires_a_subcommand(self, capsys):
+        assert main(["trace", "--export", "chrome"]) == 2
+
+    def test_trace_exports_chrome_json(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        assert main(["trace", "--export", "chrome", "-o", str(out), "--", "stats"]) == 0
+        doc = json.loads(out.read_text())
+        assert "traceEvents" in doc
+        assert doc["displayTimeUnit"] == "ms"
+
 
 class TestMarkdownReport:
     def test_markdown_table(self):

@@ -1,0 +1,217 @@
+"""Unit tests for repro.obs.export: Prometheus exposition and trace files.
+
+The Prometheus checks pin down the exposition-format contract (name
+mangling, HELP escaping, cumulative ``le`` buckets); the Chrome-trace
+checks validate the structural properties Perfetto needs (complete
+events with ``ph``/``ts``/``dur``, children nested inside parents on the
+same lane).
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.obs.export import (
+    CONTENT_TYPE_PROMETHEUS,
+    chrome_trace_json,
+    prometheus_name,
+    render_prometheus,
+    spans_to_chrome_trace,
+    spans_to_jsonl,
+    write_chrome_trace,
+    write_spans_jsonl,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import (
+    clear_spans,
+    disable_tracing,
+    enable_tracing,
+    finished_spans,
+    span,
+    trace_scope,
+)
+
+
+@pytest.fixture()
+def registry():
+    return MetricsRegistry()
+
+
+@pytest.fixture()
+def traced():
+    enable_tracing()
+    clear_spans()
+    yield
+    disable_tracing()
+    clear_spans()
+
+
+class TestPrometheusNames:
+    def test_dots_become_underscores(self):
+        assert prometheus_name("repro.kamel.failure_rate") == "repro_kamel_failure_rate"
+
+    def test_invalid_chars_and_leading_digit(self):
+        assert prometheus_name("a-b c/d") == "a_b_c_d"
+        assert prometheus_name("2fast") == "_2fast"
+
+    def test_colons_survive(self):
+        assert prometheus_name("job:rate") == "job:rate"
+
+
+class TestRenderPrometheus:
+    def test_empty_registry_renders_empty(self, registry):
+        assert render_prometheus(registry) == ""
+
+    def test_counter_and_gauge_families(self, registry):
+        registry.counter("repro.kamel.trajectories_total", "Trajectories imputed.").inc(7)
+        registry.gauge("repro.kamel.failure_rate", "Windowed rate.").set(0.25)
+        text = render_prometheus(registry)
+        assert "# HELP repro_kamel_trajectories_total Trajectories imputed." in text
+        assert "# TYPE repro_kamel_trajectories_total counter" in text
+        assert "repro_kamel_trajectories_total 7" in text
+        assert "# TYPE repro_kamel_failure_rate gauge" in text
+        assert "repro_kamel_failure_rate 0.25" in text
+        assert text.endswith("\n")
+
+    def test_help_escaping(self, registry):
+        registry.counter("repro.x_total", "line one\nback\\slash").inc()
+        text = render_prometheus(registry)
+        assert "# HELP repro_x_total line one\\nback\\\\slash" in text
+
+    def test_histogram_buckets_are_cumulative_and_monotone(self, registry):
+        histogram = registry.histogram(
+            "repro.kamel.impute_seconds", "Wall time.", buckets=(0.1, 1.0, 10.0)
+        )
+        for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+            histogram.observe(value)
+        text = render_prometheus(registry)
+        counts = []
+        for line in text.splitlines():
+            if line.startswith("repro_kamel_impute_seconds_bucket"):
+                counts.append(int(line.rsplit(" ", 1)[1]))
+        assert counts == sorted(counts), "le buckets must be cumulative"
+        assert counts[-1] == 5, "+Inf bucket must equal the observation count"
+        assert 'le="+Inf"' in text
+        assert "repro_kamel_impute_seconds_count 5" in text
+        assert "repro_kamel_impute_seconds_sum" in text
+
+    def test_histogram_quantiles_render_as_separate_gauge_family(self, registry):
+        histogram = registry.histogram("repro.y_seconds", "y")
+        for value in range(1, 101):
+            histogram.observe(value / 100.0)
+        text = render_prometheus(registry)
+        assert "# TYPE repro_y_seconds_quantile gauge" in text
+        assert 'repro_y_seconds_quantile{quantile="0.5"}' in text
+        assert 'repro_y_seconds_quantile{quantile="0.99"}' in text
+
+    def test_empty_histogram_has_no_quantile_lines(self, registry):
+        registry.histogram("repro.z_seconds", "z")
+        text = render_prometheus(registry)
+        assert "_quantile" not in text
+        assert "repro_z_seconds_count 0" in text
+
+    def test_every_line_is_valid_exposition(self, registry):
+        """Each non-comment line: <name>[{labels}] <float>."""
+        registry.counter("repro.a_total", "a").inc(2)
+        registry.histogram("repro.b_seconds", "b").observe(0.5)
+        registry.gauge("repro.c", "c").set(-1.5)
+        for line in render_prometheus(registry).splitlines():
+            if not line or line.startswith("#"):
+                continue
+            name_part, value_part = line.rsplit(" ", 1)
+            float(value_part.replace("+Inf", "inf"))  # parses as a number
+            bare = name_part.split("{", 1)[0]
+            assert prometheus_name(bare) == bare
+
+    def test_content_type_constant(self):
+        assert CONTENT_TYPE_PROMETHEUS.startswith("text/plain; version=0.0.4")
+
+
+def _nested_run():
+    with span("streaming.process", points=9):
+        with span("impute.trajectory"):
+            with span("impute.segment", strategy="beam"):
+                pass
+        with span("impute.trajectory"):
+            pass
+
+
+class TestChromeTrace:
+    def test_document_shape(self, traced):
+        with trace_scope("feedbeefcafe0123"):
+            _nested_run()
+        doc = spans_to_chrome_trace(finished_spans())
+        assert set(doc) == {"traceEvents", "displayTimeUnit"}
+        events = [e for e in doc["traceEvents"] if e.get("ph") == "X"]
+        assert len(events) == 4
+        for event in events:
+            assert {"name", "ph", "ts", "dur", "pid", "tid"} <= set(event)
+            assert event["ts"] >= 0
+            assert event["dur"] >= 0
+
+    def test_children_nest_inside_parents(self, traced):
+        _nested_run()
+        events = [
+            e for e in spans_to_chrome_trace(finished_spans())["traceEvents"]
+            if e.get("ph") == "X"
+        ]
+        by_name = {e["name"]: e for e in events}
+        root = by_name["streaming.process"]
+        for event in events:
+            if event is root:
+                continue
+            assert event["tid"] == root["tid"]
+            assert event["ts"] >= root["ts"]
+            assert event["ts"] + event["dur"] <= root["ts"] + root["dur"] + 1e-6
+
+    def test_trace_id_and_attributes_in_args(self, traced):
+        with trace_scope("0123456789abcdef"):
+            _nested_run()
+        events = [
+            e for e in spans_to_chrome_trace(finished_spans())["traceEvents"]
+            if e.get("ph") == "X"
+        ]
+        assert all(e["args"]["trace_id"] == "0123456789abcdef" for e in events)
+        beam = [e for e in events if e["name"] == "impute.segment"]
+        assert beam[0]["args"]["strategy"] == "beam"
+
+    def test_json_round_trip_and_file(self, traced, tmp_path):
+        _nested_run()
+        parsed = json.loads(chrome_trace_json(finished_spans()))
+        assert isinstance(parsed["traceEvents"], list)
+        path = tmp_path / "trace.json"
+        write_chrome_trace(path, finished_spans())
+        assert json.loads(path.read_text())["displayTimeUnit"] == "ms"
+
+    def test_empty_input(self):
+        doc = spans_to_chrome_trace([])
+        assert [e["ph"] for e in doc["traceEvents"]] == ["M"]
+
+    def test_error_spans_carry_the_exception_type(self, traced):
+        with pytest.raises(ValueError):
+            with span("boom"):
+                raise ValueError("x")
+        events = spans_to_chrome_trace(finished_spans())["traceEvents"]
+        assert events[-1]["args"]["error"] == "ValueError"
+
+
+class TestJsonl:
+    def test_one_tree_per_line(self, traced, tmp_path):
+        with trace_scope("aaaabbbbccccdddd"):
+            _nested_run()
+            _nested_run()
+        text = spans_to_jsonl(finished_spans())
+        lines = text.strip().splitlines()
+        assert len(lines) == 2
+        for line in lines:
+            tree = json.loads(line)
+            assert tree["name"] == "streaming.process"
+            assert tree["trace_id"] == "aaaabbbbccccdddd"
+            assert len(tree["children"]) == 2
+        path = tmp_path / "spans.jsonl"
+        write_spans_jsonl(path, finished_spans())
+        assert path.read_text() == text
+
+    def test_empty(self):
+        assert spans_to_jsonl([]) == ""

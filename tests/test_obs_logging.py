@@ -10,9 +10,11 @@ from repro.obs.logging import (
     JsonLinesFormatter,
     KeyValueFormatter,
     ROOT_LOGGER_NAME,
+    TraceIdFilter,
     configure_logging,
     get_logger,
 )
+from repro.obs.tracing import trace_scope
 
 
 @pytest.fixture()
@@ -71,6 +73,42 @@ class TestJsonLinesFormatter:
         assert obj["msg"] == "hello world"
         assert obj["level"] == "WARNING"
         assert obj["data"] == {"gap_m": 420.5}
+
+
+class TestTraceIdInjection:
+    def test_kv_line_carries_the_active_trace_id(self):
+        with trace_scope("feedface00000001"):
+            line = KeyValueFormatter().format(_record(level=logging.WARNING))
+        assert "trace_id=feedface00000001" in line
+
+    def test_json_line_carries_the_active_trace_id(self):
+        with trace_scope("feedface00000002"):
+            obj = json.loads(JsonLinesFormatter().format(_record()))
+        assert obj["trace_id"] == "feedface00000002"
+
+    def test_no_scope_means_no_trace_id_field(self):
+        kv_line = KeyValueFormatter().format(_record())
+        assert "trace_id=" not in kv_line
+        obj = json.loads(JsonLinesFormatter().format(_record()))
+        assert "trace_id" not in obj
+
+    def test_filter_stamps_at_emit_time(self):
+        """The filter captures the id on the emitting thread, so a handler
+        formatting later (or on another thread) still sees it."""
+        record = _record()
+        with trace_scope("feedface00000003"):
+            assert TraceIdFilter().filter(record) is True
+        # Scope has closed; the stamped value survives.
+        assert record.trace_id == "feedface00000003"
+        line = KeyValueFormatter().format(record)
+        assert "trace_id=feedface00000003" in line
+
+    def test_configured_handler_end_to_end(self, clean_root_logger):
+        stream = io.StringIO()
+        configure_logging(level="WARNING", stream=stream, force=True)
+        with trace_scope("feedface00000004"):
+            get_logger("core.imputation").warning("fallback")
+        assert "trace_id=feedface00000004" in stream.getvalue()
 
 
 class TestConfigureLogging:

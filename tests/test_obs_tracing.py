@@ -5,11 +5,14 @@ import pytest
 from repro.obs.tracing import (
     Tracer,
     clear_spans,
+    current_trace_id,
     disable_tracing,
     enable_tracing,
     finished_spans,
     get_tracer,
+    new_trace_id,
     span,
+    trace_scope,
     tracing_enabled,
 )
 
@@ -102,6 +105,93 @@ class TestExceptionSafety:
         with span("fresh"):
             pass
         assert [r.name for r in finished_spans()] == ["outer", "fresh"]
+
+
+class TestTraceScope:
+    def test_new_trace_id_is_short_hex(self):
+        trace_id = new_trace_id()
+        assert len(trace_id) == 16
+        int(trace_id, 16)  # hex-parseable
+        assert trace_id != new_trace_id()
+
+    def test_no_scope_means_no_trace_id(self, traced):
+        assert current_trace_id() is None
+        with span("bare"):
+            pass
+        (root,) = finished_spans()
+        assert root.trace_id is None
+
+    def test_scope_stamps_every_span_in_the_request(self, traced):
+        with trace_scope() as trace_id:
+            assert current_trace_id() == trace_id
+            with span("outer"):
+                with span("inner"):
+                    pass
+        assert current_trace_id() is None
+        (root,) = finished_spans()
+        assert [s.trace_id for s in root.walk()] == [trace_id, trace_id]
+
+    def test_explicit_id_wins(self, traced):
+        with trace_scope("deadbeefdeadbeef"):
+            with span("s"):
+                pass
+        (root,) = finished_spans()
+        assert root.trace_id == "deadbeefdeadbeef"
+
+    def test_nested_scope_inherits_by_default(self, traced):
+        """streaming.process opens a scope; Kamel.impute joins it rather
+        than minting a second id for the same request."""
+        with trace_scope() as outer_id:
+            with trace_scope() as inner_id:
+                assert inner_id == outer_id
+                with span("s"):
+                    pass
+        (root,) = finished_spans()
+        assert root.trace_id == outer_id
+
+    def test_inherit_false_forces_a_fresh_id(self, traced):
+        with trace_scope() as outer_id:
+            with trace_scope(inherit=False) as inner_id:
+                assert inner_id != outer_id
+            assert current_trace_id() == outer_id
+
+    def test_scope_restores_on_exception(self, traced):
+        with pytest.raises(ValueError):
+            with trace_scope():
+                raise ValueError("x")
+        assert current_trace_id() is None
+
+    def test_scope_works_without_span_collection(self):
+        """Trace ids are independent of whether span collection is on:
+        logs still get correlated even when tracing is disabled."""
+        disable_tracing()
+        with trace_scope() as trace_id:
+            assert current_trace_id() == trace_id
+        assert current_trace_id() is None
+
+    def test_ids_are_thread_local(self, traced):
+        import threading
+
+        seen = {}
+
+        def worker():
+            seen["worker"] = current_trace_id()
+            with trace_scope() as tid:
+                seen["worker_scoped"] = tid
+
+        with trace_scope() as main_id:
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        assert seen["worker"] is None, "scope must not leak across threads"
+        assert seen["worker_scoped"] != main_id
+
+    def test_to_dict_includes_trace_id(self, traced):
+        with trace_scope("0011223344556677"):
+            with span("s"):
+                pass
+        (root,) = finished_spans()
+        assert root.to_dict()["trace_id"] == "0011223344556677"
 
 
 class TestNoopMode:

@@ -1,11 +1,19 @@
 """Tests for the online imputation service."""
 
+import io
+import json
+import logging
+import urllib.request
+
 import pytest
 
 from repro import Kamel
 from repro.core.streaming import StreamingConfig, StreamingImputationService
 from repro.errors import NotFittedError
 from repro.geo import Point, Trajectory
+from repro.obs.logging import ROOT_LOGGER_NAME, configure_logging
+from repro.obs.metrics import MetricsRegistry, set_registry
+from repro.obs.tracing import clear_spans, disable_tracing, enable_tracing, finished_spans
 
 
 @pytest.fixture()
@@ -81,6 +89,136 @@ class TestHotPath:
         )
         results = service.process(test[0].sparsify(500.0))
         assert results
+
+
+class TestTelemetry:
+    @pytest.fixture()
+    def fresh_registry(self):
+        """Isolate monitors/metrics: alerts wire onto the registry current
+        at service construction, so each test gets its own."""
+        previous = set_registry(MetricsRegistry())
+        yield
+        set_registry(previous)
+
+    def test_metrics_endpoint_via_config(self, trained_kamel, small_split, fresh_registry):
+        _, test = small_split
+        with StreamingImputationService(
+            trained_kamel, StreamingConfig(metrics_port=0)
+        ) as service:
+            assert service.metrics_url is not None
+            service.process(test[0].sparsify(500.0))
+            with urllib.request.urlopen(service.metrics_url + "/metrics", timeout=5) as r:
+                body = r.read().decode()
+        assert "repro_kamel_failure_rate" in body
+        assert "repro_streaming_trajectories_in_total 1" in body
+        assert "repro_streaming_process_seconds_count 1" in body
+
+    def test_no_endpoint_by_default(self, trained_kamel):
+        service = StreamingImputationService(trained_kamel)
+        assert service.metrics_server is None
+        assert service.metrics_url is None
+        service.close()  # idempotent no-op
+
+    def test_close_stops_the_endpoint(self, trained_kamel, fresh_registry):
+        service = StreamingImputationService(
+            trained_kamel, StreamingConfig(metrics_port=0)
+        )
+        url = service.metrics_url
+        service.close()
+        assert service.metrics_url is None
+        with pytest.raises(OSError):
+            urllib.request.urlopen(url + "/healthz", timeout=1)
+
+    def test_one_trace_id_spans_the_whole_request(
+        self, trained_kamel, small_split, fresh_registry
+    ):
+        _, test = small_split
+        service = StreamingImputationService(trained_kamel)
+        enable_tracing()
+        clear_spans()
+        try:
+            service.process(test[0].sparsify(500.0))
+        finally:
+            roots = finished_spans()
+            disable_tracing()
+            clear_spans()
+        (root,) = roots
+        assert root.name == "streaming.process"
+        ids = {s.trace_id for s in root.walk()}
+        assert len(ids) == 1 and None not in ids, (
+            "every span of one process() call must share one trace id"
+        )
+
+    def test_warning_logs_carry_the_request_trace_id(
+        self, trained_kamel, small_split, fresh_registry
+    ):
+        """A fallback WARNING emitted deep inside imputation is stamped
+        with the same trace id the request's spans carry."""
+        _, test = small_split
+        stream = io.StringIO()
+        configure_logging(level="WARNING", fmt="json", stream=stream, force=True)
+        service = StreamingImputationService(trained_kamel)
+        enable_tracing()
+        clear_spans()
+        try:
+            # Very sparse input: some segments will exhaust the model
+            # budget and log fallback warnings.
+            for t in test[:6]:
+                service.process(t.sparsify(1200.0))
+            roots = finished_spans()
+        finally:
+            disable_tracing()
+            clear_spans()
+            root_logger = logging.getLogger(ROOT_LOGGER_NAME)
+            for handler in list(root_logger.handlers):
+                if getattr(handler, "_repro_structured", False):
+                    root_logger.removeHandler(handler)
+            root_logger.propagate = True
+            root_logger.setLevel(logging.NOTSET)
+        span_ids = {root.trace_id for root in roots}
+        logged = [json.loads(line) for line in stream.getvalue().splitlines()]
+        warnings = [o for o in logged if o["level"] == "WARNING"]
+        if not warnings:
+            pytest.skip("no fallback warnings fired on this seed")
+        for obj in warnings:
+            assert obj["trace_id"] in span_ids
+
+    def test_failure_alert_fires_and_marks_degraded(
+        self, trained_kamel, small_split, fresh_registry
+    ):
+        _, test = small_split
+        service = StreamingImputationService(
+            trained_kamel,
+            StreamingConfig(alert_failure_rate=0.0, alert_min_observations=1),
+        )
+        assert not service.degraded
+        # Any failed segment pushes the windowed rate above 0.0. Extremely
+        # sparse trips guarantee at least one fallback eventually.
+        for t in test[:8]:
+            service.process(t.sparsify(1500.0))
+            if service.degraded:
+                break
+        assert service.degraded
+        assert "kamel.failure_rate" in service.active_alerts
+        from repro.obs.instrument import get_registry
+
+        assert get_registry().get("repro.streaming.alerts_total").value >= 1
+
+    def test_latency_alert_recovers(self, trained_kamel, small_split, fresh_registry):
+        from repro.obs import instrument as obs
+
+        service = StreamingImputationService(
+            trained_kamel,
+            StreamingConfig(alert_latency_s=0.5, alert_min_observations=2),
+        )
+        latency = obs.monitors().latency
+        latency.observe(10.0)
+        latency.observe(10.0)
+        assert service.degraded
+        assert "streaming.process_seconds" in service.active_alerts
+        for _ in range(40):
+            latency.observe(0.001)
+        assert not service.degraded
 
 
 class TestOfflineEnrichment:
