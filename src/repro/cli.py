@@ -19,6 +19,11 @@ Telemetry export::
     kamel serve-metrics --port 9100 --demo     # /metrics, /healthz, /spans
     kamel trace --export chrome -o trace.json -- compare --dataset porto
     kamel trace --export jsonl -- figure fig9  # one span tree per line
+
+Fault injection (see docs/resilience.md)::
+
+    kamel chaos --failure-rate 0.3 --latency-rate 0.1 --deadline-ms 250
+    kamel chaos --seed 7 --trajectories 40 --json
 """
 
 from __future__ import annotations
@@ -232,32 +237,136 @@ def _run_demo_stream(deadline: Optional[float]) -> None:
     """Impute a synthetic live feed until the deadline (or forever).
 
     Gives the endpoint real numbers to serve: a small Porto-like system is
-    trained offline, then fresh sparsified trips stream through it.
+    trained offline, then fresh sparsified trips stream through it — with
+    a mild chaos scenario and per-trajectory deadlines installed, so the
+    degradation ladder actually runs and ``/healthz`` flips between
+    ``ok`` and ``degraded`` as the windowed degraded rate crosses its
+    threshold.
     """
     import time
 
     from repro.core.kamel import Kamel
     from repro.core.config import KamelConfig
     from repro.core.streaming import StreamingImputationService, StreamingConfig
+    from repro.resilience import ChaosConfig, ChaosMonkey, chaos_scope
     from repro.roadnet import SimulatorConfig, TrajectorySimulator
     from repro.roadnet.datasets import make_porto_like
 
     print("training the demo system ...", file=sys.stderr)
     dataset = make_porto_like(n_trajectories=200)
     train, _ = dataset.split()
-    system = Kamel(KamelConfig()).fit(train)
+    system = Kamel(
+        KamelConfig(trajectory_deadline_s=0.5, breaker_recovery_s=2.0)
+    ).fit(train)
     service = StreamingImputationService(
-        system, StreamingConfig(alert_failure_rate=0.5)
+        system,
+        StreamingConfig(alert_failure_rate=0.5, alert_degraded_rate=0.25),
     )
     feed_sim = TrajectorySimulator(
         dataset.network,
         SimulatorConfig(sample_interval_s=15.0, min_trip_length_m=900.0, seed=999),
     )
-    print("demo stream running (Ctrl-C to stop)", file=sys.stderr)
-    for trajectory in feed_sim.stream(id_prefix="demo"):
-        if deadline is not None and time.monotonic() >= deadline:
-            break
-        service.process(trajectory.sparsify(800.0))
+    monkey = ChaosMonkey(
+        ChaosConfig(seed=999, failure_rate=0.15, latency_rate=0.05, latency_s=0.02)
+    )
+    print(
+        "demo stream running with chaos (15% faults, 5% latency spikes); "
+        "watch /healthz flip to degraded (Ctrl-C to stop)",
+        file=sys.stderr,
+    )
+    with chaos_scope(monkey, system=system, service=service):
+        for trajectory in feed_sim.stream(id_prefix="demo"):
+            if deadline is not None and time.monotonic() >= deadline:
+                break
+            service.process(trajectory.sparsify(800.0))
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """Run a seeded fault-injection scenario and report how the system held up."""
+    from collections import Counter
+
+    from repro.core.config import KamelConfig
+    from repro.core.kamel import Kamel
+    from repro.core.streaming import StreamingConfig, StreamingImputationService
+    from repro.resilience import ChaosConfig, ChaosMonkey, chaos_scope
+    from repro.roadnet.datasets import make_porto_like
+
+    print("training the chaos-target system ...", file=sys.stderr)
+    dataset = make_porto_like(n_trajectories=args.train_trajectories)
+    train, test = dataset.split()
+    config = KamelConfig(
+        trajectory_deadline_s=(
+            args.deadline_ms / 1000.0 if args.deadline_ms else None
+        ),
+        breaker_recovery_s=0.2,
+    )
+    system = Kamel(config).fit(train)
+    service = StreamingImputationService(system, StreamingConfig())
+    feed = [t.sparsify(args.sparseness) for t in test[: args.trajectories]]
+
+    monkey = ChaosMonkey(
+        ChaosConfig(
+            seed=args.seed,
+            failure_rate=args.failure_rate,
+            latency_rate=args.latency_rate,
+            latency_s=args.latency_ms / 1000.0,
+        )
+    )
+    print(
+        f"streaming {len(feed)} trajectories under chaos "
+        f"(seed={args.seed}, faults={args.failure_rate:.0%}, "
+        f"latency={args.latency_rate:.0%} x {args.latency_ms:.0f}ms) ...",
+        file=sys.stderr,
+    )
+    rungs: Counter = Counter()
+    with chaos_scope(monkey, system=system, service=service):
+        for trajectory in feed:
+            for result in service.process(trajectory):
+                rungs.update(result.rung_counts)
+
+    stats = service.stats
+    guards = system.guards
+    report = {
+        "submitted": len(feed),
+        "processed": stats.trajectories_in,
+        "quarantined": stats.quarantined,
+        "segments": stats.segments,
+        "failure_rate": round(stats.failure_rate, 4),
+        "degraded_rate": round(stats.degraded_rate, 4),
+        "rungs": dict(sorted(rungs.items())),
+        "chaos": monkey.report.to_dict(),
+        "retries": guards.lookup_retry.total_retries
+        + guards.inference_retry.total_retries,
+        "breaker_trips": guards.lookup_breaker.open_count
+        + guards.inference_breaker.open_count,
+        "mean_latency_ms": round(stats.mean_latency_ms, 2),
+    }
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        rows = [
+            ["trajectories submitted", str(report["submitted"])],
+            ["trajectories processed", str(report["processed"])],
+            ["trajectories quarantined", str(report["quarantined"])],
+            ["segments imputed", str(report["segments"])],
+            ["failure rate (linear only)", f"{stats.failure_rate:.1%}"],
+            ["degraded rate (below full)", f"{stats.degraded_rate:.1%}"],
+            *[
+                [f"rung: {name}", str(count)]
+                for name, count in sorted(rungs.items())
+            ],
+            ["injected faults", str(monkey.report.total_faults)],
+            ["injected delays", str(monkey.report.total_delays)],
+            ["retries", str(report["retries"])],
+            ["breaker trips", str(report["breaker_trips"])],
+            ["mean latency (ms)", f"{stats.mean_latency_ms:.2f}"],
+        ]
+        print(render_table(["property", "value"], rows))
+    lost = len(feed) - stats.trajectories_in
+    if lost:
+        print(f"ERROR: {lost} trajectories lost", file=sys.stderr)
+        return 1
+    return 0
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -414,6 +523,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="stop after S seconds (default: run until Ctrl-C)",
     )
     p_srv.set_defaults(func=_cmd_serve_metrics)
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="run a seeded fault-injection scenario against a demo system",
+    )
+    p_chaos.add_argument("--seed", type=int, default=0, help="chaos RNG seed")
+    p_chaos.add_argument(
+        "--failure-rate", type=float, default=0.3,
+        help="probability a model lookup / inference call fails (default 0.3)",
+    )
+    p_chaos.add_argument(
+        "--latency-rate", type=float, default=0.1,
+        help="probability a hooked call sleeps first (default 0.1)",
+    )
+    p_chaos.add_argument(
+        "--latency-ms", type=float, default=10.0, help="injected sleep (ms)"
+    )
+    p_chaos.add_argument(
+        "--deadline-ms", type=float, default=250.0, metavar="MS",
+        help="per-trajectory impute deadline (0 disables; default 250)",
+    )
+    p_chaos.add_argument(
+        "--trajectories", type=int, default=30, help="test trajectories to stream"
+    )
+    p_chaos.add_argument(
+        "--train-trajectories", type=int, default=120,
+        help="synthetic training set size",
+    )
+    p_chaos.add_argument(
+        "--sparseness", type=float, default=800.0, help="imposed gap (m)"
+    )
+    p_chaos.add_argument("--json", action="store_true", help="machine-readable report")
+    p_chaos.set_defaults(func=_cmd_chaos)
 
     p_trc = sub.add_parser(
         "trace",

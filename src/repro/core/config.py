@@ -112,6 +112,30 @@ class KamelConfig:
     """Scale converting direction (unit circle) into meters for clustering,
     so points moving opposite ways on the same road separate."""
 
+    # -- Resilience (deadlines, degradation ladder, breakers) --
+    trajectory_deadline_s: Optional[float] = None
+    """Wall-time budget for one ``Kamel.impute`` call; ``None`` disables.
+    An expired budget sends the remaining segments to the linear rung
+    instead of hanging the request."""
+    segment_deadline_s: Optional[float] = None
+    """Per-segment budget, combined with (capped by) the trajectory budget."""
+    degraded_beam_size: int = 3
+    """Beam width of the ladder's reduced-beam rung."""
+    degraded_max_model_calls: int = 200
+    """Model-call budget for the reduced-beam and counting rungs."""
+    enable_fallback_model: bool = True
+    """Maintain a global counting model as the ladder's safety-net rung
+    (cheap to train; survives an open inference circuit or a repository
+    miss — the heavy model path being unavailable must not mean linear)."""
+    breaker_failure_threshold: int = 5
+    """Consecutive failures before a circuit (lookup or inference) opens."""
+    breaker_recovery_s: float = 30.0
+    """Seconds an open circuit waits before allowing a half-open probe."""
+    retry_attempts: int = 2
+    """Retries (after the first try) for transient lookup/inference faults."""
+    retry_base_delay_s: float = 0.01
+    """Base of the jittered exponential backoff between retries."""
+
     # -- misc --
     seed: int = 0
 
@@ -152,6 +176,22 @@ class KamelConfig:
             raise ConfigError("max_model_calls must be >= 1")
         if self.top_k_candidates < 1:
             raise ConfigError("top_k_candidates must be >= 1")
+        if self.trajectory_deadline_s is not None and self.trajectory_deadline_s <= 0:
+            raise ConfigError("trajectory_deadline_s must be positive when set")
+        if self.segment_deadline_s is not None and self.segment_deadline_s <= 0:
+            raise ConfigError("segment_deadline_s must be positive when set")
+        if self.degraded_beam_size < 1:
+            raise ConfigError("degraded_beam_size must be >= 1")
+        if self.degraded_max_model_calls < 1:
+            raise ConfigError("degraded_max_model_calls must be >= 1")
+        if self.breaker_failure_threshold < 1:
+            raise ConfigError("breaker_failure_threshold must be >= 1")
+        if self.breaker_recovery_s <= 0:
+            raise ConfigError("breaker_recovery_s must be positive")
+        if self.retry_attempts < 0:
+            raise ConfigError("retry_attempts must be >= 0")
+        if self.retry_base_delay_s < 0:
+            raise ConfigError("retry_base_delay_s must be >= 0")
 
     @property
     def cone_half_angle_rad(self) -> float:

@@ -33,6 +33,7 @@ from repro.mlm.base import MaskedModel, TokenProb
 from repro.obs import instrument as obs
 from repro.obs.logging import get_logger
 from repro.obs.tracing import span
+from repro.resilience.deadline import Deadline
 
 _log = get_logger("core.imputation")
 
@@ -134,9 +135,21 @@ class SegmentImputer(abc.ABC):
         return int(self.config.max_model_calls * scale)
 
     def _candidates(
-        self, seg: Sequence[int], i: int, ctx: GapContext
+        self,
+        seg: Sequence[int],
+        i: int,
+        ctx: GapContext,
+        deadline: Optional[Deadline] = None,
     ) -> list[TokenProb]:
-        """One constrained model call for the gap after position ``i``."""
+        """One constrained model call for the gap after position ``i``.
+
+        The deadline is checked *before* the model call — the expensive
+        unit of work — so an overrun raises
+        :class:`repro.errors.DeadlineExceeded` at most one model call
+        past the budget, never mid-search with unbounded slack.
+        """
+        if deadline is not None:
+            deadline.check("segment imputation")
         tokens, position = self._query(seg, i, ctx)
         raw = self.model.predict_masked(tokens, position, top_k=self.config.top_k_candidates)
         return self.constraints.filter(raw, ctx, seg, i)
@@ -146,17 +159,22 @@ class SegmentImputer(abc.ABC):
     strategy_name: str = "unknown"
     """Short id used in metric names and span attributes."""
 
-    def impute_segment(self, ctx: GapContext) -> SegmentImputation:
+    def impute_segment(
+        self, ctx: GapContext, deadline: Optional[Deadline] = None
+    ) -> SegmentImputation:
         """Fill the gap between ``ctx.source`` and ``ctx.dest``.
 
         Template method: runs the strategy's :meth:`_impute` inside an
         ``impute.segment`` span and records the per-segment metrics
         (strategy, model calls, budget consumption, failure) so every
-        strategy is measured identically.
+        strategy is measured identically. ``deadline`` (when given) is
+        checked between model calls; an overrun propagates
+        :class:`repro.errors.DeadlineExceeded` to the caller, whose
+        degradation ladder converts it into a fallback.
         """
         budget = self._call_budget(ctx)
         with span("impute.segment", strategy=self.strategy_name) as sp:
-            result = self._impute(ctx)
+            result = self._impute(ctx, deadline)
             sp.set(
                 model_calls=result.model_calls,
                 budget=budget,
@@ -188,7 +206,9 @@ class SegmentImputer(abc.ABC):
         return result
 
     @abc.abstractmethod
-    def _impute(self, ctx: GapContext) -> SegmentImputation:
+    def _impute(
+        self, ctx: GapContext, deadline: Optional[Deadline] = None
+    ) -> SegmentImputation:
         """The strategy body (metrics and spans handled by the caller)."""
 
 
@@ -197,7 +217,9 @@ class IterativeImputer(SegmentImputer):
 
     strategy_name = "iterative"
 
-    def _impute(self, ctx: GapContext) -> SegmentImputation:
+    def _impute(
+        self, ctx: GapContext, deadline: Optional[Deadline] = None
+    ) -> SegmentImputation:
         seg: list[int] = [ctx.source, ctx.dest]
         calls = 0
         probability = 1.0
@@ -206,7 +228,7 @@ class IterativeImputer(SegmentImputer):
         while pointer is not None:
             if calls >= budget:
                 return SegmentImputation(None, calls)
-            candidates = self._candidates(seg, pointer, ctx)
+            candidates = self._candidates(seg, pointer, ctx, deadline)
             calls += 1
             if not candidates:
                 return SegmentImputation(None, calls)
@@ -238,7 +260,9 @@ class BeamSearchImputer(SegmentImputer):
         interior = max(1, len(seg) - 2)
         return prob * interior**self.config.length_norm_alpha
 
-    def _impute(self, ctx: GapContext) -> SegmentImputation:
+    def _impute(
+        self, ctx: GapContext, deadline: Optional[Deadline] = None
+    ) -> SegmentImputation:
         cfg = self.config
         initial = (ctx.source, ctx.dest)
         first_gap = self.find_first_gap(initial)
@@ -256,7 +280,7 @@ class BeamSearchImputer(SegmentImputer):
             for beam in all_gaps:
                 if calls >= budget:
                     break
-                candidates = self._candidates(beam.seg, beam.pointer, ctx)
+                candidates = self._candidates(beam.seg, beam.pointer, ctx, deadline)
                 calls += 1
                 for token, p in candidates[: cfg.beam_size]:
                     seg = (
@@ -310,11 +334,13 @@ class SinglePointImputer(SegmentImputer):
 
     strategy_name = "single_point"
 
-    def _impute(self, ctx: GapContext) -> SegmentImputation:
+    def _impute(
+        self, ctx: GapContext, deadline: Optional[Deadline] = None
+    ) -> SegmentImputation:
         seg = (ctx.source, ctx.dest)
         if self.find_first_gap(seg) is None:
             return SegmentImputation((), 0, confidence=1.0)
-        candidates = self._candidates(seg, 0, ctx)
+        candidates = self._candidates(seg, 0, ctx, deadline)
         if not candidates:
             return SegmentImputation(None, 1)
         return SegmentImputation(

@@ -9,15 +9,23 @@
   input path: tokenize, pick the right model from the repository, run
   multipoint imputation under spatial constraints, and detokenize.
 
-A segment whose imputation fails (no model covers it, an endpoint cell was
-never seen in training, the constraints starve the search, or the model
-call budget runs out) is filled with a straight line and flagged — the
-paper's failure-rate definition.
+A segment whose imputation cannot be served by the happy path descends an
+explicit degradation ladder (:mod:`repro.resilience.ladder`): full beam
+search → reduced beam width → the global counting fallback model →
+straight line. Only the last rung counts as a *failure* (the paper's
+failure-rate definition); every rung below the top counts as *degraded*,
+and both the rung and the reason it was reached are recorded on the
+segment's :class:`~repro.core.result.SegmentOutcome`. Model lookup and
+inference run behind retry + circuit-breaker guards
+(:mod:`repro.resilience.breaker`), and every impute call can carry a
+:class:`~repro.resilience.deadline.Deadline` so a pathological gap
+triggers fallback instead of hanging an online request.
 """
 
 from __future__ import annotations
 
 import math
+from dataclasses import replace
 from typing import Iterable, Iterator, Optional, Sequence
 
 import numpy as np
@@ -25,12 +33,21 @@ import numpy as np
 from repro.core.config import KamelConfig
 from repro.core.constraints import GapContext, PassthroughConstraints, SpatialConstraints
 from repro.core.detokenization import Detokenizer
-from repro.core.imputation import SegmentImputation, make_segment_imputer
+from repro.core.imputation import (
+    IterativeImputer,
+    SegmentImputation,
+    make_segment_imputer,
+)
 from repro.core.partitioning import ModelRepository, StoredModel
 from repro.core.result import ImputationResult, Imputer, SegmentOutcome
 from repro.core.store import TrajectoryStore
 from repro.core.tokenization import Tokenizer, make_grid
-from repro.errors import EmptyInputError, NotFittedError
+from repro.errors import (
+    CircuitOpenError,
+    DeadlineExceeded,
+    EmptyInputError,
+    NotFittedError,
+)
 from repro.geo import BoundingBox, Point, Trajectory, interpolate
 from repro.mlm.base import MaskedModel
 from repro.mlm.bert import BertMaskedLM, TrainingConfig
@@ -38,6 +55,16 @@ from repro.mlm.counting import CountingMaskedLM
 from repro.obs import instrument as obs
 from repro.obs.logging import get_logger
 from repro.obs.tracing import span, trace_scope
+from repro.resilience.breaker import PipelineGuards
+from repro.resilience.deadline import Deadline
+from repro.resilience.ladder import (
+    DegradationLadder,
+    RUNG_COUNTING,
+    RUNG_FULL,
+    RUNG_LINEAR,
+    RUNG_REDUCED_BEAM,
+)
+from repro.resilience.validate import validate_trajectory
 
 _log = get_logger("core.kamel")
 
@@ -72,9 +99,19 @@ class Kamel(Imputer):
         self.constraints: Optional[SpatialConstraints] = None
         self.max_speed_mps: Optional[float] = None
         self._global_model: Optional[MaskedModel] = None
+        self._fallback_model: Optional[CountingMaskedLM] = None
         self._training_trajectories: list[Trajectory] = []
         self._gap_threshold_m: Optional[float] = None
         self._fitted = False
+        cfg = self.config
+        self.ladder = DegradationLadder.for_config(cfg)
+        self.guards = PipelineGuards(
+            failure_threshold=cfg.breaker_failure_threshold,
+            recovery_s=cfg.breaker_recovery_s,
+            retry_attempts=cfg.retry_attempts,
+            retry_base_delay_s=cfg.retry_base_delay_s,
+            seed=cfg.seed,
+        )
 
     # -- training path ------------------------------------------------------
 
@@ -158,6 +195,17 @@ class Kamel(Imputer):
         # are not incrementally mergeable and training is offline anyway.
         self.detokenizer.fit(self._training_trajectories)
 
+        if cfg.enable_fallback_model:
+            # The counting rung's global model: O(tokens) to refit, lives
+            # in-process, and therefore survives an open inference circuit
+            # or a wedged repository lookup.
+            assert self.store is not None
+            fallback = CountingMaskedLM()
+            fallback.fit(
+                [s.tokens for s in self.store], len(self.tokenizer.vocabulary)
+            )
+            self._fallback_model = fallback
+
     def _update_gap_threshold(self, sequences) -> None:
         """Floor the gap test at the training data's own token spacing.
 
@@ -194,54 +242,93 @@ class Kamel(Imputer):
     # -- model selection -------------------------------------------------------
 
     def _model_for_box(self, box: BoundingBox) -> Optional[MaskedModel]:
+        """Repository lookup behind the retry + circuit-breaker guards.
+
+        Raises :class:`CircuitOpenError` when the lookup breaker is open
+        and lets exhausted-retry infrastructure faults propagate; the
+        ladder loop in :meth:`_impute_segment` turns both into a descent
+        to the next rung instead of a lost trajectory.
+        """
         if not self.config.use_partitioning:
             return self._global_model
         assert self.repository is not None
-        stored: Optional[StoredModel] = self.repository.retrieve(box)
+        stored: Optional[StoredModel] = self.guards.guarded_lookup(
+            lambda: self.repository.retrieve(box)
+        )
         return stored.model if stored is not None else None
 
     # -- imputation path ----------------------------------------------------------
 
-    def impute(self, trajectory: Trajectory) -> ImputationResult:
-        """Densify one sparse trajectory (offline or per-stream-item)."""
+    def impute(
+        self, trajectory: Trajectory, deadline: Optional[Deadline] = None
+    ) -> ImputationResult:
+        """Densify one sparse trajectory (offline or per-stream-item).
+
+        ``deadline`` caps the whole call; when omitted, one is derived
+        from ``config.trajectory_deadline_s`` (if set). An expiring
+        deadline degrades remaining segments to cheaper ladder rungs —
+        ultimately straight lines — rather than hanging.
+
+        Raises :class:`~repro.errors.QuarantinedInputError` for inputs no
+        rung can process (non-finite or absurd coordinates/timestamps).
+        """
         if not self._fitted:
             raise NotFittedError("call fit() before impute()")
         assert self.tokenizer and self.detokenizer and self.constraints
+        validate_trajectory(trajectory)
         cfg = self.config
         points = trajectory.points
         if len(points) < 2:
             return ImputationResult(trajectory, ())
+        if deadline is None and cfg.trajectory_deadline_s is not None:
+            deadline = Deadline.after(cfg.trajectory_deadline_s)
 
         # One request id per impute call; joins an enclosing scope (the
         # streaming service's) so spans and WARNING logs stay correlated.
         with trace_scope():
             with span("impute.trajectory", points=len(points)) as sp:
                 with obs.stopwatch("repro.kamel.impute_seconds"):
-                    result = self._impute_points(trajectory, points, cfg)
+                    result = self._impute_points(trajectory, points, cfg, deadline)
                 sp.set(
                     segments=result.num_segments,
                     failed=result.num_failed,
+                    degraded=result.num_degraded,
                     model_calls=result.total_model_calls,
                 )
         obs.count("repro.kamel.trajectories_total")
         obs.count("repro.kamel.segments_total", len(points) - 1)
         obs.count("repro.kamel.segments_imputed_total", result.num_segments)
         obs.count("repro.kamel.segments_failed_total", result.num_failed)
+        obs.count("repro.kamel.segments_degraded_total", result.num_degraded)
         obs.count("repro.kamel.model_calls_total", result.total_model_calls)
-        # The gauge tracks the *windowed* rate so long-lived services reflect
+        # The gauges track *windowed* rates so long-lived services reflect
         # recent behavior; cumulative ratios remain derivable from the
-        # segments_failed_total / segments_imputed_total counters.
+        # counters. Failure = linear rung only (the paper's definition);
+        # degraded = any rung below full — same split as StreamStats.
         windowed = obs.monitors().failure.extend(result.num_failed, result.num_segments)
         obs.gauge("repro.kamel.failure_rate").set(windowed)
+        degraded = obs.monitors().degraded.extend(
+            result.num_degraded, result.num_segments
+        )
+        obs.gauge("repro.kamel.degraded_rate").set(degraded)
         return result
 
     def _impute_points(
-        self, trajectory: Trajectory, points: Sequence[Point], cfg: KamelConfig
+        self,
+        trajectory: Trajectory,
+        points: Sequence[Point],
+        cfg: KamelConfig,
+        deadline: Optional[Deadline] = None,
     ) -> ImputationResult:
         # Per Section 4.1: pick the model for the whole trajectory first;
         # segments it does not cover fall back to per-segment retrieval
         # (the paper's "split into sub-trajectories").
-        trajectory_model = self._model_for_box(trajectory.bbox())
+        try:
+            trajectory_model = self._model_for_box(trajectory.bbox())
+        except Exception:
+            # Lookup circuit open or an injected/infrastructure fault that
+            # outlived the retries: per-segment rungs retry and descend.
+            trajectory_model = None
 
         out_points: list[Point] = [points[0]]
         outcomes: list[SegmentOutcome] = []
@@ -254,8 +341,13 @@ class Kamel(Imputer):
                 continue
             prev_pt = points[i - 1] if i > 0 else None
             next_pt = points[i + 2] if i + 2 < len(points) else None
+            seg_deadline = deadline
+            if cfg.segment_deadline_s is not None:
+                base = deadline if deadline is not None else Deadline.unlimited()
+                seg_deadline = base.sub_budget(cfg.segment_deadline_s)
             interior, outcome = self._impute_segment(
-                i, a, b, prev_pt, next_pt, trajectory_model, reference_speed
+                i, a, b, prev_pt, next_pt, trajectory_model, reference_speed,
+                seg_deadline,
             )
             if outcome.failed:
                 _log.warning(
@@ -285,26 +377,25 @@ class Kamel(Imputer):
         next_pt: Optional[Point],
         trajectory_model: Optional[MaskedModel],
         reference_speed: Optional[float] = None,
+        deadline: Optional[Deadline] = None,
     ) -> tuple[list[Point], SegmentOutcome]:
         assert self.tokenizer and self.detokenizer and self.constraints
         cfg = self.config
         vocab = self.tokenizer.vocabulary
 
-        def fail(reason: str, calls: int = 0) -> tuple[list[Point], SegmentOutcome]:
+        def linear(reason: str, calls: int = 0) -> tuple[list[Point], SegmentOutcome]:
             obs.count(f"repro.kamel.fallback.{reason}_total")
+            DegradationLadder.record(RUNG_LINEAR)
             interior = _linear_interior(a, b, cfg.maxgap_m)
-            return interior, SegmentOutcome(index, True, calls, len(interior))
+            return interior, SegmentOutcome(
+                index, True, calls, len(interior),
+                rung=RUNG_LINEAR, fallback_reason=reason,
+            )
 
         source = self.tokenizer.token_for_point(a)
         dest = self.tokenizer.token_for_point(b)
         if vocab.is_special(source) or vocab.is_special(dest):
-            return fail("endpoint_unseen")
-
-        model = trajectory_model
-        if model is None:
-            model = self._model_for_box(BoundingBox.from_points([a, b]))
-        if model is None or not model.is_fitted:
-            return fail("no_model")
+            return linear("endpoint_unseen")
 
         prev_token = None
         if prev_pt is not None:
@@ -326,24 +417,114 @@ class Kamel(Imputer):
             next_token=next_token,
             reference_speed_mps=reference_speed,
         )
-        imputer = make_segment_imputer(
-            model, self.tokenizer, self.constraints, cfg, self._gap_threshold_m
-        )
-        result: SegmentImputation = imputer.impute_segment(ctx)
-        if result.failed:
-            return fail("search_failed", result.model_calls)
 
-        interior_points = self.detokenizer.detokenize_interior(
-            result.interior or (), a, b
-        )
-        interior_points = _assign_times(a, b, interior_points)
-        return interior_points, SegmentOutcome(
-            index,
-            False,
-            result.model_calls,
-            len(interior_points),
-            confidence=result.confidence,
-        )
+        # Walk the degradation ladder top-down. Any rung error — deadline,
+        # open circuit, injected fault, exhausted search — descends to the
+        # next rung; the linear rung always succeeds, so no input is ever
+        # dropped or left hanging.
+        calls_spent = 0
+        reason: Optional[str] = None
+        for rung in self.ladder.rungs:
+            if rung == RUNG_LINEAR:
+                break
+            if deadline is not None and deadline.expired:
+                obs.count("repro.resilience.deadline_exceeded_total")
+                reason = "deadline"
+                break
+            try:
+                result = self._run_rung(rung, ctx, a, b, trajectory_model, deadline)
+            except DeadlineExceeded:
+                obs.count("repro.resilience.deadline_exceeded_total")
+                reason = "deadline"
+                break
+            except CircuitOpenError:
+                reason = reason or "circuit_open"
+                continue
+            except Exception as exc:
+                # An infrastructure fault (injected or real) that outlived
+                # the retries. Degrade, never propagate past the ladder.
+                obs.count("repro.resilience.rung_errors_total")
+                _log.warning(
+                    "ladder rung raised; descending",
+                    extra={"data": {
+                        "rung": rung, "segment": index,
+                        "error": type(exc).__name__,
+                    }},
+                )
+                reason = reason or "rung_error"
+                continue
+            if result is None:  # rung has no usable model here
+                reason = reason or "no_model"
+                continue
+            calls_spent += result.model_calls
+            if result.failed:
+                reason = reason or "search_failed"
+                continue
+
+            interior_points = self.detokenizer.detokenize_interior(
+                result.interior or (), a, b
+            )
+            interior_points = _assign_times(a, b, interior_points)
+            DegradationLadder.record(rung)
+            return interior_points, SegmentOutcome(
+                index,
+                False,
+                calls_spent,
+                len(interior_points),
+                confidence=result.confidence,
+                rung=rung,
+                fallback_reason=reason if rung != RUNG_FULL else None,
+            )
+        return linear(reason or "search_failed", calls_spent)
+
+    def _run_rung(
+        self,
+        rung: str,
+        ctx: GapContext,
+        a: Point,
+        b: Point,
+        trajectory_model: Optional[MaskedModel],
+        deadline: Optional[Deadline],
+    ) -> Optional[SegmentImputation]:
+        """Attempt one ladder rung; ``None`` when its model is unavailable."""
+        assert self.tokenizer and self.constraints
+        cfg = self.config
+        if rung in (RUNG_FULL, RUNG_REDUCED_BEAM):
+            model = trajectory_model
+            if model is None:
+                model = self._model_for_box(BoundingBox.from_points([a, b]))
+            if model is None or not model.is_fitted:
+                return None
+            rung_cfg = cfg
+            if rung == RUNG_REDUCED_BEAM:
+                rung_cfg = replace(
+                    cfg,
+                    beam_size=min(cfg.beam_size, cfg.degraded_beam_size),
+                    max_model_calls=min(cfg.max_model_calls, cfg.degraded_max_model_calls),
+                )
+            imputer = make_segment_imputer(
+                self.guards.guard_model(model),
+                self.tokenizer,
+                self.constraints,
+                rung_cfg,
+                self._gap_threshold_m,
+            )
+        elif rung == RUNG_COUNTING:
+            model = self._fallback_model
+            if model is None or not model.is_fitted:
+                return None
+            # Deliberately *unguarded*: the counting model is in-process
+            # state, not a remote dependency, so it must keep serving while
+            # the inference circuit is open.
+            rung_cfg = replace(
+                cfg, max_model_calls=min(cfg.max_model_calls, cfg.degraded_max_model_calls)
+            )
+            imputer = IterativeImputer(
+                model, self.tokenizer, self.constraints, rung_cfg, self._gap_threshold_m
+            )
+        else:  # pragma: no cover - ladder construction forbids unknown rungs
+            return None
+        return imputer.impute_segment(ctx, deadline)
 
     # -- batch and streaming fronts ------------------------------------------------
 

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import abc
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
@@ -26,6 +27,25 @@ class SegmentOutcome:
     probabilities for iterative calling. ``None`` for failed segments and
     for imputers that do not score (baselines). Comparable within one
     system configuration, not across methods."""
+    rung: Optional[str] = None
+    """Which degradation-ladder rung resolved this segment (see
+    :mod:`repro.resilience.ladder`): ``"full"``, ``"reduced_beam"``,
+    ``"counting"``, or ``"linear"``. Defaults from ``failed`` for
+    constructors that predate the ladder (baselines): failed segments are
+    ``"linear"``, successful ones ``"full"``."""
+    fallback_reason: Optional[str] = None
+    """Why the segment left the top rung (``"endpoint_unseen"``,
+    ``"no_model"``, ``"search_failed"``, ``"deadline"``,
+    ``"circuit_open"``, ``"rung_error"``); ``None`` at the top rung."""
+
+    def __post_init__(self) -> None:
+        if self.rung is None:
+            object.__setattr__(self, "rung", "linear" if self.failed else "full")
+
+    @property
+    def degraded(self) -> bool:
+        """Resolved below the top ladder rung (includes linear failures)."""
+        return self.rung != "full"
 
 
 @dataclass(frozen=True)
@@ -48,11 +68,28 @@ class ImputationResult:
         return sum(1 for s in self.segments if s.failed)
 
     @property
+    def num_degraded(self) -> int:
+        """Segments resolved below the top ladder rung (incl. failures)."""
+        return sum(1 for s in self.segments if s.degraded)
+
+    @property
     def failure_rate(self) -> float:
         """Fraction of segments imputed by a straight line."""
         if not self.segments:
             return 0.0
         return self.num_failed / len(self.segments)
+
+    @property
+    def degraded_rate(self) -> float:
+        """Fraction of segments resolved below the top ladder rung."""
+        if not self.segments:
+            return 0.0
+        return self.num_degraded / len(self.segments)
+
+    @property
+    def rung_counts(self) -> dict[str, int]:
+        """How many segments each ladder rung resolved."""
+        return dict(Counter(s.rung for s in self.segments if s.rung))
 
     @property
     def total_model_calls(self) -> int:

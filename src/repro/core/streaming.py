@@ -14,9 +14,19 @@ Operationally the service can expose itself: set
 :class:`~repro.obs.server.ObservabilityServer` serving ``/metrics``
 (Prometheus), ``/healthz``, and ``/spans``; set the ``alert_*``
 thresholds and the rolling quality monitors fire WARNING logs when the
-windowed failure rate or processing latency degrades. Every
-:meth:`process` call runs under its own trace id, stamped on all spans
-and log lines it produces.
+windowed failure rate, degraded rate, or processing latency worsens.
+Every :meth:`process` call runs under its own trace id, stamped on all
+spans and log lines it produces.
+
+Durability: point :attr:`StreamingConfig.journal_path` at a file and
+every input is journaled (write-ahead) before processing and marked done
+after, so a crash mid-batch loses nothing — :meth:`recover` on the
+restarted service reprocesses exactly the unfinished work. Point
+:attr:`StreamingConfig.quarantine_path` at a file and inputs no ladder
+rung can process (non-finite coordinates, absurd values) are
+dead-lettered there with their reason instead of poisoning the stream.
+The invariant the chaos suite asserts: every submitted trajectory is
+processed, quarantined, or journal-pending — never silently dropped.
 """
 
 from __future__ import annotations
@@ -26,13 +36,15 @@ from typing import Iterable, Iterator, Optional
 
 from repro.core.kamel import Kamel
 from repro.core.result import ImputationResult
-from repro.errors import NotFittedError
+from repro.errors import NotFittedError, QuarantinedInputError
 from repro.geo import Trajectory
 from repro.obs import instrument as obs
 from repro.obs.logging import get_logger
 from repro.obs.monitor import RollingMonitor
 from repro.obs.server import ObservabilityServer
 from repro.obs.tracing import span, trace_scope
+from repro.resilience.journal import QuarantineStore, StreamJournal
+from repro.resilience.validate import validate_trajectory
 
 from repro.preprocess import KalmanSmoother, remove_outliers, split_by_time_gap
 
@@ -49,14 +61,30 @@ class StreamStats:
     points_out: int = 0
     segments: int = 0
     failed_segments: int = 0
+    degraded_segments: int = 0
     model_calls: int = 0
     processing_seconds: float = 0.0
+    quarantined: int = 0
+    journal_replayed: int = 0
 
     @property
     def failure_rate(self) -> float:
+        """Share of segments resolved by the *linear* ladder rung only —
+        the paper's failure definition, and the same numerator the
+        windowed ``repro.kamel.failure_rate`` gauge uses (the cumulative
+        and windowed views agree on what counts as a failure)."""
         if self.segments == 0:
             return 0.0
         return self.failed_segments / self.segments
+
+    @property
+    def degraded_rate(self) -> float:
+        """Share of segments resolved below the *top* ladder rung
+        (reduced beam, counting, or linear) — the cumulative counterpart
+        of the windowed ``repro.kamel.degraded_rate`` gauge."""
+        if self.segments == 0:
+            return 0.0
+        return self.degraded_segments / self.segments
 
     @property
     def densification_ratio(self) -> float:
@@ -89,10 +117,22 @@ class StreamingConfig:
     free ephemeral port); None (default) starts no endpoint."""
     alert_failure_rate: Optional[float] = None
     """WARN when the windowed segment failure rate exceeds this."""
+    alert_degraded_rate: Optional[float] = None
+    """WARN when the windowed below-top-rung segment rate exceeds this."""
     alert_latency_s: Optional[float] = None
     """WARN when the windowed mean process() latency exceeds this (seconds)."""
     alert_min_observations: int = 20
     """Observations a rolling window needs before its alerts can fire."""
+    journal_path: Optional[str] = None
+    """Write-ahead journal file (JSONL). None (default) disables the
+    journal; with it set, :meth:`StreamingImputationService.recover`
+    resumes exactly the work a crash left unfinished."""
+    journal_sync: bool = False
+    """fsync the journal after every record (durable across power loss,
+    measurably slower)."""
+    quarantine_path: Optional[str] = None
+    """Dead-letter file (JSONL) for inputs no ladder rung can process.
+    None (default) logs and drops them instead."""
 
 
 class StreamingImputationService:
@@ -112,6 +152,15 @@ class StreamingImputationService:
         self._training_queue: list[Trajectory] = []
         self.active_alerts: set[str] = set()
         self._wire_alerts()
+        self.chaos = None  # Optional[repro.resilience.chaos.ChaosMonkey]
+        self.journal: Optional[StreamJournal] = None
+        if self.config.journal_path is not None:
+            self.journal = StreamJournal(
+                self.config.journal_path, sync=self.config.journal_sync
+            )
+        self.quarantine: Optional[QuarantineStore] = None
+        if self.config.quarantine_path is not None:
+            self.quarantine = QuarantineStore(self.config.quarantine_path)
         self.metrics_server: Optional[ObservabilityServer] = None
         if self.config.metrics_port is not None:
             self.metrics_server = ObservabilityServer(
@@ -152,6 +201,8 @@ class StreamingImputationService:
         pairs = []
         if cfg.alert_failure_rate is not None:
             pairs.append((hub.failure, cfg.alert_failure_rate))
+        if cfg.alert_degraded_rate is not None:
+            pairs.append((hub.degraded, cfg.alert_degraded_rate))
         if cfg.alert_latency_s is not None:
             pairs.append((hub.latency, cfg.alert_latency_s))
         for monitor, limit in pairs:
@@ -198,26 +249,50 @@ class StreamingImputationService:
     def process(self, trajectory: Trajectory) -> list[ImputationResult]:
         """Impute one incoming trajectory (possibly several trips).
 
+        Durability contract: with a journal configured, the input is
+        journaled *before* any work and marked done *after* all of it —
+        a crash anywhere in between leaves the entry pending for
+        :meth:`recover`. An input the pipeline cannot process
+        (:class:`~repro.errors.QuarantinedInputError`) is dead-lettered
+        and returns ``[]``; it never raises out of this method, and it
+        counts as done in the journal.
+
         The wall time recorded into ``StreamStats.processing_seconds`` and
         the ``repro.streaming.process_seconds`` histogram come from the
         same stopwatch, so the legacy fields and the registry agree. The
         whole call runs under one request trace id, inherited by the
         per-trip ``Kamel.impute`` scopes.
         """
+        if self.journal is not None:
+            self.journal.begin(trajectory)
+        if self.chaos is not None:
+            # May raise InjectedCrash — deliberately *after* the journal
+            # write, simulating death mid-processing: the entry stays
+            # pending and recover() picks it up.
+            self.chaos.on_process()
         with trace_scope():
             with span("streaming.process", points=len(trajectory)):
                 with obs.stopwatch("repro.streaming.process_seconds") as sw:
                     self.stats.trajectories_in += 1
                     self.stats.points_in += len(trajectory)
-                    results = []
-                    for trip in self._clean(trajectory):
-                        result = self.system.impute(trip)
-                        results.append(result)
-                        self.stats.trips_out += 1
-                        self.stats.points_out += len(result.trajectory)
-                        self.stats.segments += result.num_segments
-                        self.stats.failed_segments += result.num_failed
-                        self.stats.model_calls += result.total_model_calls
+                    results: list[ImputationResult] = []
+                    try:
+                        # Validate the raw input before cleaning: NaN/inf
+                        # coordinates would silently confuse the outlier
+                        # filter's distance math instead of failing typed.
+                        validate_trajectory(trajectory)
+                        for trip in self._clean(trajectory):
+                            result = self.system.impute(trip)
+                            results.append(result)
+                            self.stats.trips_out += 1
+                            self.stats.points_out += len(result.trajectory)
+                            self.stats.segments += result.num_segments
+                            self.stats.failed_segments += result.num_failed
+                            self.stats.degraded_segments += result.num_degraded
+                            self.stats.model_calls += result.total_model_calls
+                    except QuarantinedInputError as exc:
+                        self._quarantine(trajectory, exc.reason)
+                        results = []
         self.stats.processing_seconds += sw.seconds
         obs.monitors().latency.observe(sw.seconds)
         obs.count("repro.streaming.trajectories_in_total")
@@ -227,6 +302,48 @@ class StreamingImputationService:
             "repro.streaming.points_out_total",
             sum(len(r.trajectory) for r in results),
         )
+        if self.journal is not None:
+            self.journal.done(trajectory.traj_id)
+        return results
+
+    def _quarantine(self, trajectory: Trajectory, reason: str) -> None:
+        self.stats.quarantined += 1
+        obs.count("repro.streaming.quarantined_total")
+        if self.quarantine is not None:
+            self.quarantine.add(trajectory, reason)
+        else:
+            _log.warning(
+                "input dropped (no quarantine store configured)",
+                extra={"data": {"trajectory": trajectory.traj_id, "reason": reason}},
+            )
+
+    # -- crash recovery ----------------------------------------------------
+
+    def recover(self) -> list[ImputationResult]:
+        """Reprocess the work a crash left unfinished (call before new
+        traffic on a restarted service).
+
+        Reads the write-ahead journal, replays every begun-but-not-done
+        input through the normal :meth:`process` path (journaling,
+        quarantine, and stats included), and returns the results in the
+        original submission order. Imputation is deterministic, so a
+        replayed input produces the same output the crashed process would
+        have. No journal configured — nothing to do.
+        """
+        if self.journal is None:
+            return []
+        pending = self.journal.pending()
+        if not pending:
+            return []
+        _log.info(
+            "recovering unfinished work from the journal",
+            extra={"data": {"pending": len(pending)}},
+        )
+        results: list[ImputationResult] = []
+        for trajectory in pending:
+            obs.count("repro.streaming.journal_replayed_total")
+            self.stats.journal_replayed += 1
+            results.extend(self.process(trajectory))
         return results
 
     def process_stream(

@@ -2,9 +2,20 @@
 
 All library-raised exceptions derive from :class:`KamelError` so callers can
 catch everything coming out of this package with a single ``except`` clause.
+That contract extends to the resilience layer: a deadline overrun
+(:class:`DeadlineExceeded`), an open circuit (:class:`CircuitOpenError`), and
+a rejected input (:class:`QuarantinedInputError`) are all *typed* signals the
+pipeline raises deliberately and handles at well-defined boundaries — they
+are part of graceful degradation, not crashes.  Injected chaos faults
+(:class:`repro.resilience.chaos.InjectedFault`) deliberately do **not**
+derive from :class:`KamelError`: they simulate infrastructure failures
+(network, disk, a wedged model server) that originate *outside* the library,
+which is exactly what the retry/breaker machinery must survive.
 """
 
 from __future__ import annotations
+
+from typing import Optional
 
 
 class KamelError(Exception):
@@ -33,3 +44,38 @@ class ModelRepositoryError(KamelError):
 
 class ImputationError(KamelError):
     """A gap could not be imputed and no fallback was allowed."""
+
+
+class DeadlineExceeded(KamelError):
+    """A time budget ran out mid-operation.
+
+    Raised by :meth:`repro.resilience.deadline.Deadline.check` between model
+    calls so a pathological segment triggers the linear fallback instead of
+    hanging the request.  Carries the overrun in seconds when known.
+    """
+
+    def __init__(self, message: str, overrun_s: Optional[float] = None) -> None:
+        super().__init__(message)
+        self.overrun_s = overrun_s
+
+
+class CircuitOpenError(KamelError):
+    """A circuit breaker is open and the call was short-circuited.
+
+    The degradation ladder treats this as "skip straight to the next rung":
+    no time is spent on a dependency that has been failing consistently.
+    """
+
+
+class QuarantinedInputError(KamelError):
+    """An input was rejected as malformed and belongs in quarantine.
+
+    Raised by input validation (non-finite coordinates, absurd magnitudes)
+    before any imputation work starts.  The streaming service catches it,
+    records the trajectory in the dead-letter store with ``reason``, and
+    keeps the stream alive.
+    """
+
+    def __init__(self, message: str, reason: str = "invalid") -> None:
+        super().__init__(message)
+        self.reason = reason

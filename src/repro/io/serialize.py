@@ -29,6 +29,7 @@ from repro.core.config import KamelConfig
 from repro.core.kamel import Kamel
 from repro.core.partitioning import CellKey, PairKey, PyramidIndex, StoredModel
 from repro.core.detokenization import CellClusters, DirectionalCluster
+from repro.mlm.counting import CountingMaskedLM
 from repro.core.tokenization import TokenSequence
 from repro.errors import KamelError, NotFittedError
 from repro.geo import BoundingBox, Point
@@ -264,6 +265,15 @@ def load_kamel(directory: Union[str, pathlib.Path]) -> Kamel:
         )
         cells[(q, r)] = CellClusters(clusters, centroid, entry["num_points"])
     system.detokenizer._cells = cells
+
+    if config.enable_fallback_model and len(system.store) > 0:
+        # The counting-rung fallback model is derived state: O(tokens) to
+        # refit from the restored store, so it is rebuilt rather than saved.
+        fallback = CountingMaskedLM()
+        fallback.fit(
+            [s.tokens for s in system.store], len(system.tokenizer.vocabulary)
+        )
+        system._fallback_model = fallback
 
     system._fitted = True
     return system

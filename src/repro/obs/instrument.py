@@ -55,11 +55,20 @@ METRIC_CATALOG: dict[str, str] = {
     "repro.kamel.trajectories_total": "Trajectories imputed.",
     "repro.kamel.segments_total": "Sparse segments examined (gap or not).",
     "repro.kamel.segments_imputed_total": "Segments wider than maxgap, sent to the imputer.",
-    "repro.kamel.segments_failed_total": "Segments that fell back to the straight line.",
+    "repro.kamel.segments_failed_total": "Segments that fell back to the straight line (the linear ladder rung).",
+    "repro.kamel.segments_degraded_total": "Segments resolved below the top ladder rung (reduced beam, counting, or linear).",
     "repro.kamel.fallback.endpoint_unseen_total": "Fallbacks: an endpoint cell never seen in training.",
     "repro.kamel.fallback.no_model_total": "Fallbacks: no repository model covers the segment.",
     "repro.kamel.fallback.search_failed_total": "Fallbacks: search starved or budget exhausted.",
+    "repro.kamel.fallback.deadline_total": "Fallbacks: the impute deadline expired mid-segment.",
+    "repro.kamel.fallback.circuit_open_total": "Fallbacks: a guard circuit was open at every usable rung.",
+    "repro.kamel.fallback.rung_error_total": "Fallbacks: an infrastructure fault outlived the retries at every usable rung.",
     "repro.kamel.failure_rate": "Windowed failure rate over the most recent imputed segments (the paper's Section 8 metric); cumulative = segments_failed_total / segments_imputed_total.",
+    "repro.kamel.degraded_rate": "Windowed share of recent segments resolved below the top ladder rung; cumulative = segments_degraded_total / segments_imputed_total.",
+    "repro.kamel.rung.full_total": "Segments resolved by the full-strength imputer (top ladder rung).",
+    "repro.kamel.rung.reduced_beam_total": "Segments resolved by the reduced-beam ladder rung.",
+    "repro.kamel.rung.counting_total": "Segments resolved by the counting-fallback-model ladder rung.",
+    "repro.kamel.rung.linear_total": "Segments resolved by straight-line interpolation (bottom ladder rung).",
     "repro.kamel.model_calls_total": "Masked-model calls across all segments.",
     "repro.kamel.training_trajectories_total": "Trajectories ingested by fit/add_training.",
     # -- multipoint imputation (core.imputation) --------------------------
@@ -109,6 +118,18 @@ METRIC_CATALOG: dict[str, str] = {
     "repro.streaming.process_seconds": "Wall time of one service.process call.",
     "repro.streaming.training_flushes_total": "Offline enrichment batches flushed.",
     "repro.streaming.alerts_total": "Rolling-monitor threshold alerts fired by the service.",
+    "repro.streaming.quarantined_total": "Inputs dead-lettered to the quarantine store.",
+    "repro.streaming.journal_replayed_total": "Pending journal entries reprocessed on service recovery.",
+    # -- resilience layer (repro.resilience) -------------------------------
+    "repro.resilience.deadline_exceeded_total": "Segment/trajectory deadlines that expired mid-imputation.",
+    "repro.resilience.rung_errors_total": "Ladder rungs abandoned after an unexpected (infrastructure) error.",
+    "repro.resilience.retries_total": "Transient-failure retries across all retry policies.",
+    "repro.resilience.breaker_open_total": "Circuit-breaker trips (closed/half-open to open).",
+    "repro.resilience.breaker.lookup_state": "Repository-lookup breaker state: 0 closed, 1 half-open, 2 open.",
+    "repro.resilience.breaker.inference_state": "Model-inference breaker state: 0 closed, 1 half-open, 2 open.",
+    "repro.resilience.chaos.faults_total": "Injected faults raised by the chaos harness.",
+    "repro.resilience.chaos.delays_total": "Injected latency spikes from the chaos harness.",
+    "repro.resilience.chaos.corruptions_total": "Grid-cell corruptions injected by the chaos harness.",
     # -- evaluation harness (eval.harness) --------------------------------
     "repro.eval.train_seconds": "Harness: training one method on one workload.",
     "repro.eval.impute_seconds": "Harness: imputing one workload's test set.",

@@ -296,9 +296,15 @@ class MonitorHub:
     (``registry.monitors``); the instrumented modules report through
     :func:`repro.obs.instrument.monitors`:
 
-    * ``failure``   — per-segment imputation failures (``core.kamel``);
-      backs the ``repro.kamel.failure_rate`` gauge, so the gauge tracks
-      *recent* behavior instead of the process lifetime.
+    * ``failure``   — per-segment imputation failures (``core.kamel``):
+      segments resolved by the *linear* ladder rung only, the paper's
+      failure definition; backs the ``repro.kamel.failure_rate`` gauge,
+      so the gauge tracks *recent* behavior instead of the process
+      lifetime.
+    * ``degraded``  — segments resolved below the *top* ladder rung
+      (reduced beam, counting, or linear); backs the
+      ``repro.kamel.degraded_rate`` gauge and the ``/healthz``
+      ``degraded`` status.
     * ``latency``   — ``StreamingImputationService.process`` seconds.
     * ``rejection`` — constraint-filter rejections over candidates in.
     * ``hit_rate``  — repository lookups finding a covering model.
@@ -308,6 +314,7 @@ class MonitorHub:
     def __init__(self, capacity: int = DEFAULT_WINDOW) -> None:
         self.capacity = capacity
         self.failure = RollingMonitor("kamel.failure_rate", capacity)
+        self.degraded = RollingMonitor("kamel.degraded_rate", capacity)
         self.latency = RollingMonitor("streaming.process_seconds", capacity)
         self.rejection = RollingMonitor("constraints.rejection_ratio", capacity)
         self.hit_rate = RollingMonitor("partitioning.hit_rate", capacity)
@@ -316,6 +323,7 @@ class MonitorHub:
     def all(self) -> dict[str, Any]:
         return {
             "failure": self.failure,
+            "degraded": self.degraded,
             "latency": self.latency,
             "rejection": self.rejection,
             "hit_rate": self.hit_rate,

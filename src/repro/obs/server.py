@@ -5,8 +5,10 @@ thread, stdlib ``http.server`` only:
 
 * ``GET /metrics``  — the registry in Prometheus text exposition format
   (scrape it with ``curl`` or point a Prometheus job at it);
-* ``GET /healthz``  — JSON liveness: status, uptime, scrape count, and
-  the rolling quality monitors (windowed failure rate, latency, …);
+* ``GET /healthz``  — JSON liveness: status (``ok``, or ``degraded``
+  when any rolling-monitor threshold is breached), uptime, scrape
+  count, and the rolling quality monitors (windowed failure rate,
+  degraded rate, latency, …);
 * ``GET /spans``    — collected span trees as Chrome trace-event JSON
   (save the response and load it in Perfetto), or ``?format=jsonl`` for
   the line-oriented form.
@@ -77,9 +79,18 @@ class _Handler(BaseHTTPRequestHandler):
                 200, render_prometheus(self.server.registry), CONTENT_TYPE_PROMETHEUS
             )
         elif route == "/healthz":
+            hub = self.server.registry.monitors
+            breached = sorted(
+                name
+                for name, monitor in hub.all().items()
+                if getattr(monitor, "breached", False)
+            )
             body = json.dumps(
                 {
-                    "status": "ok",
+                    # "degraded" (not unhealthy): the ladder is still
+                    # serving every request, just below full strength.
+                    "status": "degraded" if breached else "ok",
+                    "breached_monitors": breached,
                     "uptime_s": round(time.monotonic() - self.server.started_monotonic, 3),
                     "metrics": len(self.server.registry),
                     "monitors": self.server.registry.monitors.to_dict(),

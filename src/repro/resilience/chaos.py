@@ -1,0 +1,259 @@
+"""Seeded, deterministic fault injection for the imputation pipeline.
+
+A :class:`ChaosMonkey` drives three kinds of mischief from one seeded
+RNG, so every scenario replays exactly:
+
+* **failures** — hooked call sites (pyramid model lookup, masked-model
+  inference) raise :class:`InjectedFault`, a *non*-``KamelError``
+  simulating infrastructure trouble the retry/breaker/ladder stack must
+  absorb;
+* **latency** — hooked sites sleep ``latency_s`` with probability
+  ``latency_rate`` (deadline-enforcement fodder);
+* **corruption** — a grid lookup returns a neighboring cell instead of
+  the true one (GPS-noise-at-the-worst-moment; constraints and
+  detokenization must stay sane).
+
+Hooks are *installed*, never baked in: production code paths carry one
+``None``-checked slot (``PipelineGuards.chaos``,
+``StreamingImputationService.chaos``) or are wrapped per-instance
+(:func:`install_grid_chaos`), so an uninstrumented system pays an
+attribute test at most.  :func:`chaos_scope` installs a monkey on a
+system/service/grid and restores everything on exit.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Optional
+
+from repro.obs import instrument as obs
+from repro.obs.logging import get_logger
+
+__all__ = [
+    "ChaosConfig",
+    "ChaosMonkey",
+    "InjectedFault",
+    "InjectedCrash",
+    "install_grid_chaos",
+    "install_repository_chaos",
+    "chaos_scope",
+]
+
+_log = get_logger("resilience.chaos")
+
+
+class InjectedFault(RuntimeError):
+    """A simulated infrastructure failure (deliberately not a KamelError)."""
+
+
+class InjectedCrash(RuntimeError):
+    """A simulated process death mid-stream (kill-and-resume scenarios)."""
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """One reproducible fault scenario."""
+
+    seed: int = 0
+    failure_rate: float = 0.0
+    """Probability a call at a ``failure_sites`` site raises InjectedFault."""
+    latency_rate: float = 0.0
+    """Probability a hooked call sleeps ``latency_s`` first."""
+    latency_s: float = 0.01
+    corruption_rate: float = 0.0
+    """Probability a chaotic grid lookup returns a neighboring cell."""
+    failure_sites: tuple[str, ...] = ("repository.retrieve", "model.predict")
+    """Which hook sites may fail (latency applies to every hooked site)."""
+    crash_after: Optional[int] = None
+    """Raise InjectedCrash on the Nth (1-based) ``service.process`` call."""
+
+    def __post_init__(self) -> None:
+        for name in ("failure_rate", "latency_rate", "corruption_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+        if self.latency_s < 0:
+            raise ValueError(f"latency_s must be >= 0, got {self.latency_s!r}")
+        if self.crash_after is not None and self.crash_after < 1:
+            raise ValueError(f"crash_after must be >= 1, got {self.crash_after!r}")
+
+
+@dataclass
+class ChaosReport:
+    """What a monkey actually did (for test assertions and the CLI table)."""
+
+    faults: dict = field(default_factory=dict)
+    delays: dict = field(default_factory=dict)
+    corruptions: int = 0
+    crashes: int = 0
+    calls: dict = field(default_factory=dict)
+
+    @property
+    def total_faults(self) -> int:
+        return sum(self.faults.values())
+
+    @property
+    def total_delays(self) -> int:
+        return sum(self.delays.values())
+
+    def to_dict(self) -> dict:
+        return {
+            "calls": dict(self.calls),
+            "faults": dict(self.faults),
+            "delays": dict(self.delays),
+            "corruptions": self.corruptions,
+            "crashes": self.crashes,
+        }
+
+
+class ChaosMonkey:
+    """The seeded fault injector the hooks consult.
+
+    One ``random.Random(seed)`` drives every decision, so a fixed seed and
+    a fixed call sequence replay the exact same faults.  ``sleep`` is
+    injectable so tests can count delays without waiting.
+    """
+
+    def __init__(
+        self,
+        config: ChaosConfig,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.config = config
+        self._rng = random.Random(config.seed)
+        self._sleep = sleep
+        self.report = ChaosReport()
+        self._process_calls = 0
+
+    # -- the generic call-site hook ----------------------------------------
+
+    def on_call(self, site: str) -> None:
+        """Fire at a hooked call site: maybe delay, maybe fail."""
+        cfg = self.config
+        self.report.calls[site] = self.report.calls.get(site, 0) + 1
+        if cfg.latency_rate and self._rng.random() < cfg.latency_rate:
+            self.report.delays[site] = self.report.delays.get(site, 0) + 1
+            obs.count("repro.resilience.chaos.delays_total")
+            self._sleep(cfg.latency_s)
+        if (
+            cfg.failure_rate
+            and site in cfg.failure_sites
+            and self._rng.random() < cfg.failure_rate
+        ):
+            self.report.faults[site] = self.report.faults.get(site, 0) + 1
+            obs.count("repro.resilience.chaos.faults_total")
+            raise InjectedFault(f"injected failure at {site}")
+
+    # -- specialized hooks -------------------------------------------------
+
+    def corrupt_cell(self, cell, neighbors: list) -> object:
+        """Maybe swap a grid cell for one of its neighbors."""
+        cfg = self.config
+        if (
+            cfg.corruption_rate
+            and neighbors
+            and self._rng.random() < cfg.corruption_rate
+        ):
+            self.report.corruptions += 1
+            obs.count("repro.resilience.chaos.corruptions_total")
+            return neighbors[self._rng.randrange(len(neighbors))]
+        return cell
+
+    def on_process(self) -> None:
+        """Fire at the top of ``service.process`` (crash injection)."""
+        self._process_calls += 1
+        crash_after = self.config.crash_after
+        if crash_after is not None and self._process_calls == crash_after:
+            self.report.crashes += 1
+            _log.warning(
+                "injected crash",
+                extra={"data": {"process_calls": self._process_calls}},
+            )
+            raise InjectedCrash(
+                f"injected crash on process call #{self._process_calls}"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"ChaosMonkey(seed={self.config.seed}, "
+            f"faults={self.report.total_faults}, delays={self.report.total_delays})"
+        )
+
+
+def install_grid_chaos(grid, monkey: ChaosMonkey) -> Callable[[], None]:
+    """Wrap ``grid.cell_of`` with latency + corruption injection.
+
+    Installs an instance-level override (the class stays untouched) and
+    returns an uninstaller that restores the original method.
+    """
+    original = type(grid).cell_of
+
+    def chaotic_cell_of(point):
+        if monkey.config.latency_rate and monkey._rng.random() < monkey.config.latency_rate:
+            monkey.report.delays["grid.cell_of"] = (
+                monkey.report.delays.get("grid.cell_of", 0) + 1
+            )
+            obs.count("repro.resilience.chaos.delays_total")
+            monkey._sleep(monkey.config.latency_s)
+        cell = original(grid, point)
+        return monkey.corrupt_cell(cell, grid.neighbors(cell))
+
+    grid.cell_of = chaotic_cell_of
+
+    def uninstall() -> None:
+        if grid.__dict__.get("cell_of") is chaotic_cell_of:
+            del grid.__dict__["cell_of"]
+
+    return uninstall
+
+
+def install_repository_chaos(repository, monkey: ChaosMonkey) -> Callable[[], None]:
+    """Point ``repository.fault_hook`` at ``monkey``; returns an uninstaller.
+
+    Faults raised here surface *inside* ``ModelRepository.retrieve`` —
+    upstream of the retry/breaker guards — which is the realistic shape of
+    a wedged model store.
+    """
+    previous = repository.fault_hook
+    repository.fault_hook = monkey.on_call
+
+    def uninstall() -> None:
+        repository.fault_hook = previous
+
+    return uninstall
+
+
+@contextlib.contextmanager
+def chaos_scope(
+    monkey: ChaosMonkey,
+    system=None,
+    service=None,
+    grid=None,
+) -> Iterator[ChaosMonkey]:
+    """Install ``monkey`` on the given components; restore on exit.
+
+    ``system`` is a :class:`repro.core.kamel.Kamel` (hooks model lookup and
+    inference via its :class:`~repro.resilience.breaker.PipelineGuards`),
+    ``service`` a :class:`~repro.core.streaming.StreamingImputationService`
+    (crash injection), ``grid`` any :class:`repro.grid.base.Grid`
+    (latency + corruption on ``cell_of``).
+    """
+    uninstallers: list[Callable[[], None]] = []
+    if system is not None:
+        previous = system.guards.chaos
+        system.guards.chaos = monkey
+        uninstallers.append(lambda: setattr(system.guards, "chaos", previous))
+    if service is not None:
+        previous_svc = service.chaos
+        service.chaos = monkey
+        uninstallers.append(lambda: setattr(service, "chaos", previous_svc))
+    if grid is not None:
+        uninstallers.append(install_grid_chaos(grid, monkey))
+    try:
+        yield monkey
+    finally:
+        for undo in reversed(uninstallers):
+            undo()

@@ -1,0 +1,296 @@
+"""The chaos suite: seeded fault injection against the full pipeline.
+
+Every test here is deterministic — one ``random.Random(seed)`` drives all
+injected faults, injected latency uses tiny sleeps, and breaker recovery
+windows are chosen so no state transition depends on wall-clock racing.
+
+Run with ``pytest -m chaos`` (the CI ``chaos`` job) or as part of the
+normal suite.
+"""
+
+import math
+import time
+
+import pytest
+
+from repro import Kamel, KamelConfig
+from repro.geo import Point, Trajectory
+from repro.core.streaming import StreamingConfig, StreamingImputationService
+from repro.obs import MetricsRegistry, get_registry, set_registry
+from repro.obs import instrument as obs
+from repro.obs.export import render_prometheus
+from repro.resilience import (
+    ChaosConfig,
+    ChaosMonkey,
+    InjectedCrash,
+    RUNG_FULL,
+    chaos_scope,
+    install_grid_chaos,
+)
+
+pytestmark = pytest.mark.chaos
+
+
+@pytest.fixture()
+def fresh_registry():
+    """Isolate each chaos test's metrics (and rolling monitors)."""
+    previous = set_registry(MetricsRegistry())
+    yield get_registry()
+    set_registry(previous)
+
+
+@pytest.fixture(scope="module")
+def chaos_system(small_dataset):
+    """A dedicated trained system the chaos tests may stress freely.
+
+    Module-scoped (training is the expensive part); each test resets the
+    guards so breaker state never leaks between tests. Deliberately NOT
+    the session-wide ``trained_kamel``, whose guards must stay pristine.
+    """
+    train, _ = small_dataset.split(seed=1)
+    system = Kamel(
+        KamelConfig(max_model_calls=600, breaker_recovery_s=30.0)
+    ).fit(train)
+    return system
+
+
+@pytest.fixture()
+def clean_guards(chaos_system):
+    chaos_system.guards.reset()
+    yield chaos_system.guards
+    chaos_system.guards.reset()
+
+
+def _feed(small_dataset, n=8, sparseness=600.0):
+    _, test = small_dataset.split(seed=1)
+    return [t.sparsify(sparseness) for t in test[:n]]
+
+
+def _bad_trajectory(traj_id):
+    return Trajectory(
+        traj_id, [Point(float("nan"), 0.0, t=0.0), Point(700.0, 100.0, t=60.0)]
+    )
+
+
+class TestSeededScenario:
+    """The ISSUE acceptance scenario: 30% injected model-lookup/inference
+    failures plus 10% latency spikes, under a per-trajectory deadline."""
+
+    DEADLINE_S = 0.25
+    GRACE_S = 0.05
+
+    def test_deadlines_hold_and_nothing_is_lost(
+        self, chaos_system, clean_guards, small_dataset, tmp_path, fresh_registry
+    ):
+        feed = _feed(small_dataset, n=8)
+        feed.insert(2, _bad_trajectory("bad-1"))
+        feed.insert(5, _bad_trajectory("bad-2"))
+
+        service = StreamingImputationService(
+            chaos_system,
+            StreamingConfig(
+                journal_path=str(tmp_path / "wal.jsonl"),
+                quarantine_path=str(tmp_path / "dead.jsonl"),
+            ),
+        )
+        monkey = ChaosMonkey(
+            ChaosConfig(
+                seed=1234, failure_rate=0.3, latency_rate=0.1, latency_s=0.01
+            )
+        )
+        results = []
+        with chaos_scope(monkey, system=chaos_system, service=service):
+            for trajectory in feed:
+                results.append(service.process(trajectory))
+
+        # The chaos actually happened.
+        assert monkey.report.total_faults > 0
+        assert monkey.report.total_delays > 0
+
+        # Zero trajectories lost: everything submitted was processed (the
+        # quarantined ones count — they are accounted for, not dropped).
+        stats = service.stats
+        assert stats.trajectories_in == len(feed)
+        assert stats.quarantined == 2
+        assert len(service.quarantine) == 2
+        assert {e.traj_id for e in service.quarantine.entries()} == {"bad-1", "bad-2"}
+        assert service.journal.pending() == []  # all begun work finished
+
+        # Rungs are visible on every outcome ...
+        segments = [s for batch in results for r in batch for s in r.segments]
+        assert segments, "scenario produced no imputed segments"
+        for segment in segments:
+            assert segment.rung is not None
+            if segment.rung != RUNG_FULL:
+                assert segment.degraded
+        # ... and in the Prometheus exposition.
+        exposition = render_prometheus(fresh_registry)
+        for rung in {s.rung for s in segments}:
+            line = f"repro_kamel_rung_{rung}_total"
+            assert line in exposition
+        assert "repro_resilience_chaos_faults_total" in exposition
+
+    def test_deadline_bounds_impute_time(
+        self, chaos_system, clean_guards, small_dataset, fresh_registry
+    ):
+        from repro.resilience import Deadline
+
+        feed = _feed(small_dataset, n=8)
+        monkey = ChaosMonkey(
+            ChaosConfig(
+                seed=1234, failure_rate=0.3, latency_rate=0.1, latency_s=0.01
+            )
+        )
+        with chaos_scope(monkey, system=chaos_system):
+            for trajectory in feed:
+                start = time.monotonic()
+                result = chaos_system.impute(
+                    trajectory, deadline=Deadline.after(self.DEADLINE_S)
+                )
+                elapsed = time.monotonic() - start
+                # The acceptance bound: never past the deadline by >50 ms.
+                assert elapsed <= self.DEADLINE_S + self.GRACE_S, (
+                    f"impute took {elapsed:.3f}s against a "
+                    f"{self.DEADLINE_S}s deadline"
+                )
+                assert len(result.trajectory) >= len(trajectory)
+
+
+class TestDeterminism:
+    def _run_once(self, system, feed):
+        system.guards.reset()
+        previous = set_registry(MetricsRegistry())
+        try:
+            monkey = ChaosMonkey(
+                ChaosConfig(seed=77, failure_rate=0.3, latency_rate=0.0)
+            )
+            outputs = []
+            with chaos_scope(monkey, system=system):
+                for trajectory in feed:
+                    # No deadline: behavior must depend only on the seeded
+                    # fault sequence, never on wall-clock timing.
+                    result = system.impute(trajectory)
+                    outputs.append(result)
+            return monkey.report.to_dict(), outputs
+        finally:
+            set_registry(previous)
+            system.guards.reset()
+
+    def test_same_seed_replays_exactly(self, chaos_system, small_dataset):
+        feed = _feed(small_dataset, n=6)
+        report_a, outputs_a = self._run_once(chaos_system, feed)
+        report_b, outputs_b = self._run_once(chaos_system, feed)
+        assert report_a == report_b
+        assert [r.trajectory for r in outputs_a] == [r.trajectory for r in outputs_b]
+        assert [
+            [(s.rung, s.fallback_reason) for s in r.segments] for r in outputs_a
+        ] == [[(s.rung, s.fallback_reason) for s in r.segments] for r in outputs_b]
+
+
+class TestKillAndResume:
+    def test_crash_resumes_without_loss_or_rework(
+        self, chaos_system, clean_guards, small_dataset, tmp_path, fresh_registry
+    ):
+        feed = _feed(small_dataset, n=6)
+        journal_path = str(tmp_path / "wal.jsonl")
+
+        # Reference: the same inputs through an undisturbed service.
+        reference = StreamingImputationService(chaos_system, StreamingConfig())
+        expected = [reference.process(t) for t in feed]
+
+        # First incarnation: dies on the 4th process call.
+        chaos_system.guards.reset()
+        first = StreamingImputationService(
+            chaos_system, StreamingConfig(journal_path=journal_path)
+        )
+        monkey = ChaosMonkey(ChaosConfig(seed=0, crash_after=4))
+        survived = []
+        with chaos_scope(monkey, service=first):
+            with pytest.raises(InjectedCrash):
+                for trajectory in feed[:4]:
+                    survived.append(first.process(trajectory))
+        assert len(survived) == 3  # the 4th died mid-flight
+        first.journal.close()
+
+        # Second incarnation: same journal, fresh process.
+        second = StreamingImputationService(
+            chaos_system, StreamingConfig(journal_path=journal_path)
+        )
+        replayed = second.recover()
+        # Only the unfinished trajectory is reprocessed ...
+        assert second.stats.journal_replayed == 1
+        assert [r.trajectory.traj_id for r in replayed] == [
+            r.trajectory.traj_id for r in expected[3]
+        ]
+        # ... with output identical to the never-crashed run.
+        assert [r.trajectory for r in replayed] == [
+            r.trajectory for r in expected[3]
+        ]
+        # The rest of the feed flows normally afterwards.
+        tail = [second.process(t) for t in feed[4:]]
+        assert [
+            [r.trajectory for r in batch] for batch in tail
+        ] == [[r.trajectory for r in batch] for batch in expected[4:]]
+        assert second.journal.pending() == []
+
+        # End-to-end accounting: every submitted trajectory was processed
+        # exactly once by *some* incarnation (3 + 1 replayed + 2 tail).
+        assert first.stats.trajectories_in + second.stats.trajectories_in == len(feed)
+
+
+class TestFailureRateParity:
+    """StreamStats (cumulative) and the windowed gauge agree on what a
+    failure is: segments served by the linear rung only."""
+
+    def test_stats_and_gauge_agree(
+        self, chaos_system, clean_guards, small_dataset, fresh_registry
+    ):
+        service = StreamingImputationService(chaos_system, StreamingConfig())
+        for trajectory in _feed(small_dataset, n=6):
+            service.process(trajectory)
+        stats = service.stats
+        assert stats.segments > 0
+        hub = obs.monitors()
+        # The window is larger than the segment count, so windowed == cumulative.
+        assert stats.segments <= hub.failure.window.capacity
+        assert hub.failure.value == pytest.approx(stats.failure_rate)
+        assert obs.gauge("repro.kamel.failure_rate").value == pytest.approx(
+            stats.failure_rate
+        )
+        assert hub.degraded.value == pytest.approx(stats.degraded_rate)
+        assert obs.gauge("repro.kamel.degraded_rate").value == pytest.approx(
+            stats.degraded_rate
+        )
+        # Failures are degraded by definition; never the other way around.
+        assert stats.degraded_segments >= stats.failed_segments
+
+
+class TestGridChaos:
+    def test_corruption_swaps_cell_for_neighbor(self, chaos_system, fresh_registry):
+        grid = chaos_system.tokenizer.grid
+        point = Point(400.0, 400.0)
+        true_cell = grid.cell_of(point)
+        monkey = ChaosMonkey(ChaosConfig(seed=3, corruption_rate=1.0))
+        uninstall = install_grid_chaos(grid, monkey)
+        try:
+            corrupted = grid.cell_of(point)
+            assert corrupted in grid.neighbors(true_cell)
+            assert monkey.report.corruptions == 1
+        finally:
+            uninstall()
+        assert grid.cell_of(point) == true_cell
+
+    def test_pipeline_survives_corrupted_lookups(
+        self, chaos_system, clean_guards, small_dataset, fresh_registry
+    ):
+        feed = _feed(small_dataset, n=3)
+        monkey = ChaosMonkey(ChaosConfig(seed=5, corruption_rate=0.2))
+        with chaos_scope(
+            monkey, system=chaos_system, grid=chaos_system.tokenizer.grid
+        ):
+            for trajectory in feed:
+                result = chaos_system.impute(trajectory)
+                # Corrupted cells may degrade accuracy, never crash, and
+                # every point must still be finite.
+                for p in result.trajectory.points:
+                    assert math.isfinite(p.x) and math.isfinite(p.y)

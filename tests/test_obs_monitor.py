@@ -146,7 +146,7 @@ class TestMonitorHub:
     def test_standard_monitors_exist(self):
         hub = MonitorHub()
         assert set(hub.all()) == {
-            "failure", "latency", "rejection", "hit_rate", "hit_level",
+            "failure", "degraded", "latency", "rejection", "hit_rate", "hit_level",
         }
 
     def test_reset_clears_every_window(self):

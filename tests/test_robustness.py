@@ -1,9 +1,22 @@
-"""Robustness: malformed and degenerate inputs through the full system."""
+"""Robustness: malformed and degenerate inputs through the full system.
+
+Contract (enforced by :mod:`repro.resilience.validate`): any input either
+imputes, or raises a *typed* :class:`~repro.errors.KamelError` — most
+specifically :class:`~repro.errors.QuarantinedInputError` for inputs no
+degradation-ladder rung can process. Nothing malformed may escape as an
+unhandled ``ValueError``/``FloatingPointError``/hang.
+"""
 
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.errors import KamelError, QuarantinedInputError
 from repro.geo import Point, Trajectory
+
+finite_coord = st.floats(
+    min_value=-50_000.0, max_value=50_000.0, allow_nan=False, allow_infinity=False
+)
+any_float = st.floats(allow_nan=True, allow_infinity=True, width=64)
 
 
 class TestDegenerateInputs:
@@ -99,3 +112,108 @@ class TestSystemProperties:
         assert all(a <= b + 1e-9 for a, b in zip(times, times[1:]))
         # 5. Bookkeeping consistent.
         assert 0 <= result.num_failed <= result.num_segments
+        assert result.num_failed <= result.num_degraded <= result.num_segments
+
+
+class TestMalformedInputs:
+    """Hypothesis sweep: poisoned inputs get a typed error or quarantine,
+    never an unhandled exception."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        bad=st.sampled_from([float("nan"), float("inf"), float("-inf")]),
+        slot=st.integers(min_value=0, max_value=2),
+        x=finite_coord,
+        y=finite_coord,
+        t=st.floats(
+            min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+        ),
+    )
+    def test_non_finite_values_raise_quarantine(self, trained_kamel, bad, slot, x, y, t):
+        values = [x, y, t]
+        values[slot] = bad
+        x, y, t = values
+        traj = Trajectory(
+            "poisoned", [Point(x, y, t=t), Point(700.0, 100.0, t=60.0)]
+        )
+        with pytest.raises(QuarantinedInputError) as excinfo:
+            trained_kamel.impute(traj)
+        assert excinfo.value.reason in (
+            "non_finite_coordinate",
+            "non_finite_timestamp",
+            "coordinate_out_of_range",
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(x=finite_coord, y=finite_coord)
+    def test_out_of_grid_points_never_unhandled(self, trained_kamel, x, y):
+        # Finite but arbitrarily far outside the trained grid: must produce
+        # a dense result (linear fallback at worst), never crash.
+        traj = Trajectory(
+            "far", [Point(x, y, t=0.0), Point(x + 900.0, y, t=90.0)]
+        )
+        result = trained_kamel.impute(traj)
+        assert result.num_segments == 1
+        assert len(result.trajectory) >= 2
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        times=st.lists(
+            st.floats(
+                min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+            ),
+            min_size=3,
+            max_size=6,
+        )
+    )
+    def test_unordered_timestamps_stay_processable(self, trained_kamel, times):
+        # Negative, duplicate, or reversed timestamps are degraded data,
+        # not poison: the system imputes them (the constraints fall back
+        # to geometry-only operation).
+        points = [
+            Point(100.0 + 300.0 * i, 100.0, t=t) for i, t in enumerate(times)
+        ]
+        result = trained_kamel.impute(Trajectory("shuffled-time", points))
+        assert len(result.trajectory) >= len(points)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        x=any_float,
+        y=any_float,
+        magnitude=st.floats(min_value=1.1e7, max_value=1e300),
+        sign=st.sampled_from([-1.0, 1.0]),
+    )
+    def test_anything_bad_is_a_kamel_error(self, trained_kamel, x, y, magnitude, sign):
+        # The catch-one-base contract: whatever flavor of bad, a single
+        # `except KamelError` is enough for callers.
+        traj = Trajectory(
+            "any-bad",
+            [Point(x, y, t=0.0), Point(sign * magnitude, 0.0, t=10.0)],
+        )
+        try:
+            result = trained_kamel.impute(traj)
+        except KamelError:
+            pass
+        else:
+            assert len(result.trajectory) >= 2
+
+    def test_quarantined_input_is_dead_lettered_by_the_service(
+        self, trained_kamel, tmp_path
+    ):
+        from repro.core.streaming import StreamingConfig, StreamingImputationService
+
+        service = StreamingImputationService(
+            trained_kamel,
+            StreamingConfig(quarantine_path=str(tmp_path / "dead.jsonl")),
+        )
+        bad = Trajectory(
+            "nan-coord",
+            [Point(float("nan"), 0.0, t=0.0), Point(700.0, 100.0, t=60.0)],
+        )
+        results = service.process(bad)  # must not raise
+        assert results == []
+        assert service.stats.quarantined == 1
+        entries = service.quarantine.entries()
+        assert len(entries) == 1
+        assert entries[0].traj_id == "nan-coord"
+        assert entries[0].reason == "non_finite_coordinate"
