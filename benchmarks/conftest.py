@@ -23,10 +23,12 @@ from repro.obs import get_registry
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
-MERGED_SNAPSHOT = REPO_ROOT / "BENCH_observability.json"
-"""The repo-root merged snapshot: one JSON document holding every bench
-module's metrics from the latest ``--metrics-out`` run, committed per PR
-so the bench trajectory accumulates comparable numbers over time."""
+MERGED_SNAPSHOT_NAME = "BENCH_observability.json"
+"""The merged snapshot: one schema-v2 document holding every bench
+module's metrics from a ``--metrics-out`` run. It is written *into* the
+``--metrics-out`` directory (never the repo root — ``kamel bench``
+subprocesses must not clobber the committed baseline); promote it with
+``kamel bench --update-baseline``."""
 
 
 def pytest_addoption(parser):
@@ -35,7 +37,7 @@ def pytest_addoption(parser):
         default=None,
         metavar="DIR",
         help="dump a BENCH_<module>.json metrics snapshot per benchmark module "
-        "plus the merged BENCH_observability.json at the repo root",
+        "plus the merged schema-v2 BENCH_observability.json into DIR",
     )
 
 
@@ -62,39 +64,31 @@ def bench_metrics_snapshot(request):
     snapshots[name] = get_registry().snapshot()
 
 
-def _scalar_summary(snapshot: dict) -> dict:
-    """Compress one module snapshot to diff-friendly scalars: counter and
-    gauge values as-is, histograms as count/mean/p50/p99."""
-    out = {}
-    for name, data in sorted(snapshot.items()):
-        if data.get("type") in ("counter", "gauge"):
-            out[name] = data["value"]
-        elif data.get("type") == "histogram" and data.get("count"):
-            quantiles = data.get("quantiles") or {}
-            out[name] = {
-                "count": data["count"],
-                "mean": data["mean"],
-                "p50": quantiles.get("p50"),
-                "p99": quantiles.get("p99"),
-            }
-    return out
-
-
 def pytest_sessionfinish(session, exitstatus):
-    """Merge the per-module snapshots into BENCH_observability.json."""
-    import json
+    """Merge the per-module snapshots into a schema-v2 document.
+
+    A single pytest session is one repeat, so every stdev is 0.0; the
+    environment fingerprint (python/platform/numpy/commit/seed) still
+    makes the document comparable across machines. ``kamel bench``
+    aggregates several of these runs into a multi-repeat snapshot.
+    """
+    from repro.bench.snapshot import (
+        flatten_summary,
+        make_snapshot,
+        scalar_summary,
+        write_snapshot,
+    )
 
     snapshots = getattr(session.config, "_bench_obs_snapshots", None)
     if not snapshots:
         return
-    merged = {
-        "schema": "bench-observability/1",
-        "modules": {
-            name: _scalar_summary(snapshot)
-            for name, snapshot in sorted(snapshots.items())
-        },
+    out_dir = pathlib.Path(session.config.getoption("--metrics-out"))
+    module_runs = {
+        name: [flatten_summary(scalar_summary(snapshot))]
+        for name, snapshot in sorted(snapshots.items())
     }
-    MERGED_SNAPSHOT.write_text(json.dumps(merged, indent=2, default=float) + "\n")
+    doc = make_snapshot(module_runs, seed=0, repo_root=REPO_ROOT)
+    write_snapshot(out_dir / MERGED_SNAPSHOT_NAME, doc)
 
 
 def run_once(benchmark, fn, *args, **kwargs):

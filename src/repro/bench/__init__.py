@@ -1,0 +1,63 @@
+"""Continuous benchmarking: snapshots, comparison, and the bench runner.
+
+Three modules turn the ``benchmarks/`` figure suite into a perf gate:
+
+* :mod:`repro.bench.snapshot` — the ``bench-observability/2`` snapshot
+  document (environment fingerprint, per-metric mean/stdev across
+  repeats) plus migration from the v1 layout;
+* :mod:`repro.bench.compare` — the noise-tolerant comparator that
+  classifies every metric of two snapshots as improved / unchanged /
+  regressed (direction-aware, stdev-aware) and renders the delta table;
+* :mod:`repro.bench.runner` — the N-repeat suite runner behind
+  ``kamel bench`` (each repeat an isolated pytest subprocess over the
+  real benchmark modules).
+
+The committed baseline lives at the repo root as
+``BENCH_observability.json``; ``kamel bench --compare`` gates against
+it and ``kamel bench --update-baseline`` refreshes it. See
+``docs/observability.md`` ("Profiling & regression tracking").
+"""
+
+from repro.bench.compare import (
+    CompareConfig,
+    Delta,
+    compare_snapshots,
+    has_regressions,
+    metric_direction,
+    render_deltas,
+    stats_modules,
+)
+from repro.bench.runner import SUITES, BenchRunner, Suite
+from repro.bench.snapshot import (
+    SCHEMA_V1,
+    SCHEMA_V2,
+    environment_fingerprint,
+    flatten_summary,
+    load_snapshot,
+    make_snapshot,
+    migrate,
+    scalar_summary,
+    write_snapshot,
+)
+
+__all__ = [
+    "BenchRunner",
+    "CompareConfig",
+    "Delta",
+    "SCHEMA_V1",
+    "SCHEMA_V2",
+    "SUITES",
+    "Suite",
+    "compare_snapshots",
+    "environment_fingerprint",
+    "flatten_summary",
+    "has_regressions",
+    "load_snapshot",
+    "make_snapshot",
+    "metric_direction",
+    "migrate",
+    "render_deltas",
+    "scalar_summary",
+    "stats_modules",
+    "write_snapshot",
+]

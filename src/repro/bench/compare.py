@@ -1,0 +1,273 @@
+"""Noise-tolerant snapshot comparison: improved / unchanged / regressed.
+
+The comparator turns two snapshots — v2 bench documents, legacy v1
+documents, or raw ``--metrics-out`` registry snapshots — into a list of
+:class:`Delta` rows, one per metric, each classified against thresholds
+that know two things a naive diff does not:
+
+* **metric direction** — ``repro.kamel.impute_seconds`` going *down* is
+  an improvement, ``repro.eval`` recall going down is a regression, and
+  a changed segment count is neither (``changed``: surfaced, but never
+  failing a gate);
+* **noise** — a delta only counts when it clears the larger of a
+  relative tolerance (generous for wall-time metrics, tight for exact
+  counters) and ``noise_sigmas`` times the run-to-run stdev recorded in
+  the snapshot, so a zero-stdev counter drift of one call is flagged
+  while a 20 % wobble on a 2-repeat timing is not.
+
+``kamel bench --compare`` and the CI perf gate exit non-zero iff any
+row classifies as ``regressed``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping, Optional
+
+from repro.bench.snapshot import SCHEMA_V1, SCHEMA_V2, flatten_summary, migrate, scalar_summary
+
+__all__ = [
+    "CompareConfig",
+    "Delta",
+    "compare_snapshots",
+    "has_regressions",
+    "metric_direction",
+    "render_deltas",
+    "stats_modules",
+]
+
+
+_HISTOGRAM_LEAVES = {"count", "mean", "p50", "p90", "p99", "sum", "min", "max", "stdev"}
+
+_LOWER_IS_BETTER = (
+    "_seconds",
+    "failure",
+    "failures",
+    "fallback.",
+    "rejected.",
+    "model_calls",
+    "calls_per_segment",
+    "budget_exhausted",
+    "deadline_exceeded",
+    "rung_errors",
+    "breaker",
+    "quarantined",
+    "lookup_miss",
+    "retries",
+    "latency",
+)
+
+_HIGHER_IS_BETTER = (
+    "recall",
+    "precision",
+    "accuracy",
+    "lookup_hit",
+    "top1",
+    "top10",
+    "topk",
+)
+
+
+def _split_leaf(name: str) -> tuple[str, Optional[str]]:
+    base, _, leaf = name.rpartition(".")
+    if base and leaf in _HISTOGRAM_LEAVES:
+        return base, leaf
+    return name, None
+
+
+def metric_direction(name: str) -> str:
+    """``lower`` / ``higher`` / ``neutral`` — which way is good for
+    ``name`` (dotted histogram leaves inherit their base metric, except
+    ``.count``, which is an event count, not a latency)."""
+    base, leaf = _split_leaf(name)
+    if leaf == "count":
+        return "neutral"
+    if any(token in base for token in _LOWER_IS_BETTER):
+        return "lower"
+    if any(token in base for token in _HIGHER_IS_BETTER):
+        return "higher"
+    return "neutral"
+
+
+def _is_timing(name: str) -> bool:
+    base, leaf = _split_leaf(name)
+    return "_seconds" in base and leaf != "count"
+
+
+@dataclass(frozen=True)
+class CompareConfig:
+    """Thresholds for calling a delta significant.
+
+    ``timing_rel_tol`` applies to wall-time metrics (inherently noisy;
+    CI gates comparing across machines should pass something much larger
+    via ``--timing-tol``), ``count_rel_tol`` to everything else. The
+    stdev term uses the larger stdev of the two snapshots.
+    """
+
+    timing_rel_tol: float = 0.35
+    count_rel_tol: float = 0.05
+    noise_sigmas: float = 3.0
+    abs_tol: float = 1e-9
+
+    def tolerance(self, name: str, base: float, stdev: float) -> float:
+        rel = self.timing_rel_tol if _is_timing(name) else self.count_rel_tol
+        return max(rel * abs(base), self.noise_sigmas * stdev, self.abs_tol)
+
+
+@dataclass(frozen=True)
+class Delta:
+    """One metric's movement between baseline and current."""
+
+    module: str
+    metric: str
+    baseline: Optional[float]
+    baseline_stdev: float
+    current: Optional[float]
+    current_stdev: float
+    classification: str  # improved|unchanged|regressed|changed|new|missing
+    direction: str
+
+    @property
+    def change_pct(self) -> Optional[float]:
+        if self.baseline in (None, 0.0) or self.current is None:
+            return None
+        return (self.current - self.baseline) / abs(self.baseline) * 100.0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "module": self.module,
+            "metric": self.metric,
+            "baseline": self.baseline,
+            "baseline_stdev": self.baseline_stdev,
+            "current": self.current,
+            "current_stdev": self.current_stdev,
+            "change_pct": self.change_pct,
+            "classification": self.classification,
+            "direction": self.direction,
+        }
+
+
+def stats_modules(doc: Mapping[str, Any]) -> dict[str, dict[str, tuple[float, float]]]:
+    """Normalize any supported document into ``{module: {metric: (mean, stdev)}}``.
+
+    Accepts v2 bench snapshots, v1 (auto-migrated), and raw registry
+    snapshots from ``--metrics-out`` (which have no modules — they map to
+    the single module ``""``).
+    """
+    schema = doc.get("schema")
+    if schema == SCHEMA_V1:
+        doc = migrate(doc)
+        schema = doc["schema"]
+    if schema == SCHEMA_V2:
+        return {
+            module: {
+                name: (float(stat["mean"]), float(stat.get("stdev", 0.0)))
+                for name, stat in stats.items()
+            }
+            for module, stats in doc.get("modules", {}).items()
+        }
+    # A raw registry snapshot: {metric: {"type": ..., ...}}.
+    if any(isinstance(v, Mapping) and "type" in v for v in doc.values()):
+        flat = flatten_summary(scalar_summary(doc))
+        return {"": {name: (value, 0.0) for name, value in flat.items()}}
+    raise ValueError(f"unrecognized snapshot document (schema {schema!r})")
+
+
+def _classify(
+    name: str, base: float, bstd: float, cur: float, cstd: float, cfg: CompareConfig
+) -> str:
+    tol = cfg.tolerance(name, base, max(bstd, cstd))
+    if abs(cur - base) <= tol:
+        return "unchanged"
+    direction = metric_direction(name)
+    if direction == "neutral":
+        return "changed"
+    worse = cur > base if direction == "lower" else cur < base
+    return "regressed" if worse else "improved"
+
+
+def compare_snapshots(
+    baseline: Mapping[str, Any],
+    current: Mapping[str, Any],
+    config: Optional[CompareConfig] = None,
+) -> list[Delta]:
+    """Classify every metric of both snapshots (union, per module)."""
+    cfg = config or CompareConfig()
+    base_modules = stats_modules(baseline)
+    cur_modules = stats_modules(current)
+    deltas: list[Delta] = []
+    for module in sorted(set(base_modules) | set(cur_modules)):
+        base_stats = base_modules.get(module, {})
+        cur_stats = cur_modules.get(module, {})
+        for name in sorted(set(base_stats) | set(cur_stats)):
+            in_base, in_cur = name in base_stats, name in cur_stats
+            bmean, bstd = base_stats.get(name, (None, 0.0))
+            cmean, cstd = cur_stats.get(name, (None, 0.0))
+            if not in_base:
+                classification = "new"
+            elif not in_cur:
+                classification = "missing"
+            else:
+                classification = _classify(name, bmean, bstd, cmean, cstd, cfg)
+            deltas.append(
+                Delta(
+                    module=module,
+                    metric=name,
+                    baseline=bmean,
+                    baseline_stdev=bstd,
+                    current=cmean,
+                    current_stdev=cstd,
+                    classification=classification,
+                    direction=metric_direction(name),
+                )
+            )
+    return deltas
+
+
+def has_regressions(deltas: Iterable[Delta]) -> bool:
+    return any(d.classification == "regressed" for d in deltas)
+
+
+_SEVERITY = {
+    "regressed": 0, "missing": 1, "changed": 2, "improved": 3, "new": 4, "unchanged": 5,
+}
+
+
+def render_deltas(deltas: Iterable[Delta], include_unchanged: bool = False) -> str:
+    """The side-by-side delta table (``kamel stats A B`` / ``kamel bench
+    --compare``), most severe classifications first."""
+    from repro.eval.report import render_table
+
+    def fmt(value: Optional[float], stdev: float) -> str:
+        if value is None:
+            return "-"
+        text = f"{value:.6g}"
+        if stdev:
+            text += f"±{stdev:.2g}"
+        return text
+
+    rows = []
+    shown = sorted(
+        deltas,
+        key=lambda d: (_SEVERITY[d.classification], d.module, d.metric),
+    )
+    hidden = 0
+    for d in shown:
+        if d.classification == "unchanged" and not include_unchanged:
+            hidden += 1
+            continue
+        pct = f"{d.change_pct:+.1f}%" if d.change_pct is not None else "-"
+        metric = f"{d.module}:{d.metric}" if d.module else d.metric
+        rows.append(
+            [metric, fmt(d.baseline, d.baseline_stdev), fmt(d.current, d.current_stdev),
+             pct, d.classification]
+        )
+    if not rows:
+        table = "(no metric moved)"
+    else:
+        table = render_table(
+            ["metric", "baseline", "current", "delta", "class"], rows
+        )
+    if hidden:
+        table += f"\n({hidden} unchanged metrics hidden)"
+    return table

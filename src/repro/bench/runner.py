@@ -1,0 +1,175 @@
+"""The continuous-benchmark runner behind ``kamel bench``.
+
+A *suite* is a named subset of the ``benchmarks/`` figure-regeneration
+modules. The runner executes the suite ``repeats`` times — each repeat a
+fresh ``pytest`` subprocess with ``--metrics-out`` pointed at a temp
+directory, so every repeat gets a clean metrics registry and the *exact*
+code path the committed baseline was recorded from — then aggregates the
+per-module scalar summaries into a schema-v2 snapshot
+(:func:`repro.bench.snapshot.make_snapshot`): environment fingerprint,
+and mean/stdev across repeats for every metric.
+
+Tests inject a ``collect`` callable instead of the subprocess, so the
+aggregation and comparison logic is exercised without minute-long bench
+runs.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import subprocess
+import sys
+import tempfile
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Optional
+
+from repro.bench.snapshot import flatten_summary, make_snapshot
+from repro.obs.logging import get_logger
+
+__all__ = ["BenchRunner", "Suite", "SUITES", "repo_root"]
+
+_log = get_logger("bench.runner")
+
+
+@dataclass(frozen=True)
+class Suite:
+    """A named subset of the benchmarks directory."""
+
+    name: str
+    paths: tuple[str, ...]
+    description: str
+
+
+SUITES: dict[str, Suite] = {
+    "counting": Suite(
+        "counting",
+        ("bench_counting_scoring.py",),
+        "counting-backend scoring ablation (the CI perf-gate subset)",
+    ),
+    "scalability": Suite(
+        "scalability",
+        ("bench_scalability.py",),
+        "imputation latency vs training-corpus size",
+    ),
+    "timing": Suite(
+        "timing",
+        ("bench_fig11_timing.py",),
+        "figure 11 train/impute wall-time regeneration",
+    ),
+    "all": Suite(
+        "all",
+        ("",),  # the whole benchmarks/ directory
+        "every figure benchmark (slow: full paper regeneration)",
+    ),
+}
+
+
+def repo_root() -> pathlib.Path:
+    """The checkout root (where ``benchmarks/`` and the baseline live)."""
+    return pathlib.Path(__file__).resolve().parents[3]
+
+
+CollectFn = Callable[[int], Mapping[str, Mapping[str, Any]]]
+"""One repeat: repeat index -> {module: scalar summary}."""
+
+
+class BenchRunner:
+    """Run a suite N times and build the v2 snapshot document."""
+
+    def __init__(
+        self,
+        suite: str = "counting",
+        repeats: int = 3,
+        seed: int = 0,
+        bench_dir: Optional[pathlib.Path] = None,
+        collect: Optional[CollectFn] = None,
+    ) -> None:
+        if suite not in SUITES:
+            raise ValueError(
+                f"unknown suite {suite!r}; one of {', '.join(sorted(SUITES))}"
+            )
+        if repeats < 1:
+            raise ValueError(f"repeats must be >= 1, got {repeats}")
+        self.suite = SUITES[suite]
+        self.repeats = repeats
+        self.seed = seed
+        self.bench_dir = (
+            bench_dir if bench_dir is not None else repo_root() / "benchmarks"
+        )
+        self._collect = collect if collect is not None else self._collect_subprocess
+
+    # -- one repeat -----------------------------------------------------------
+
+    def _collect_subprocess(self, repeat: int) -> dict[str, dict[str, Any]]:
+        """Run the suite's bench modules once; return module summaries."""
+        if not self.bench_dir.is_dir():
+            raise FileNotFoundError(
+                f"benchmarks directory not found at {self.bench_dir} "
+                "(kamel bench needs a source checkout)"
+            )
+        targets = [str(self.bench_dir / p) if p else str(self.bench_dir)
+                   for p in self.suite.paths]
+        root = self.bench_dir.parent
+        with tempfile.TemporaryDirectory(prefix="kamel-bench-") as tmp:
+            cmd = [
+                sys.executable, "-m", "pytest", *targets,
+                "-q", "-p", "no:cacheprovider", "--metrics-out", tmp,
+            ]
+            proc = subprocess.run(
+                cmd, cwd=root, capture_output=True, text=True,
+                env=self._subprocess_env(root),
+            )
+            if proc.returncode != 0:
+                raise RuntimeError(
+                    f"bench suite {self.suite.name!r} failed (exit "
+                    f"{proc.returncode}):\n{proc.stdout[-2000:]}\n{proc.stderr[-2000:]}"
+                )
+            summaries: dict[str, dict[str, Any]] = {}
+            for path in sorted(pathlib.Path(tmp).glob("BENCH_*.json")):
+                module = path.stem.removeprefix("BENCH_")
+                if module == "observability":
+                    continue  # the merged doc, not a module snapshot
+                with open(path) as handle:
+                    registry_snapshot = json.load(handle)
+                from repro.bench.snapshot import scalar_summary
+
+                summaries[module] = scalar_summary(registry_snapshot)
+            if not summaries:
+                raise RuntimeError(
+                    f"bench suite {self.suite.name!r} produced no module "
+                    f"snapshots in {tmp}"
+                )
+            return summaries
+
+    @staticmethod
+    def _subprocess_env(root: pathlib.Path) -> dict[str, str]:
+        import os
+
+        env = dict(os.environ)
+        src = str(root / "src")
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = f"{src}{os.pathsep}{existing}" if existing else src
+        return env
+
+    # -- the run --------------------------------------------------------------
+
+    def run(self) -> dict[str, Any]:
+        """Execute all repeats, aggregate, and return the v2 snapshot."""
+        module_runs: dict[str, list[dict[str, float]]] = {}
+        for repeat in range(self.repeats):
+            _log.info(
+                "bench repeat starting",
+                extra={"data": {
+                    "suite": self.suite.name,
+                    "repeat": repeat + 1,
+                    "of": self.repeats,
+                }},
+            )
+            for module, summary in self._collect(repeat).items():
+                module_runs.setdefault(module, []).append(
+                    flatten_summary(summary)
+                )
+        return make_snapshot(
+            module_runs, seed=self.seed, repo_root=self.bench_dir.parent
+        )

@@ -1,0 +1,196 @@
+"""Benchmark snapshot documents: schema v2, fingerprints, migration.
+
+A *bench snapshot* is the committed perf record of one benchmark run
+(``BENCH_observability.json`` at the repo root). Schema v2 makes it
+comparable across machines and PRs:
+
+* an **environment fingerprint** — python/platform/numpy versions, git
+  commit, and the suite seed — so a diff between two snapshots can be
+  read knowing *where* each side ran;
+* every metric stored as ``{"mean": …, "stdev": …}`` across the run's
+  repeats, so the comparator can tell noise from signal;
+* histogram summaries flattened to dotted leaves
+  (``repro.kamel.impute_seconds.p50``) instead of nested dicts.
+
+Schema v1 documents (plain scalars, nested histogram dicts, no
+environment) still load: :func:`migrate` lifts them to v2 with zero
+stdev and an explicitly unknown environment.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import platform
+import statistics
+import subprocess
+from typing import Any, Mapping, Optional, Sequence, Union
+
+__all__ = [
+    "SCHEMA_V1",
+    "SCHEMA_V2",
+    "environment_fingerprint",
+    "flatten_summary",
+    "load_snapshot",
+    "make_snapshot",
+    "migrate",
+    "scalar_summary",
+    "write_snapshot",
+]
+
+SCHEMA_V1 = "bench-observability/1"
+SCHEMA_V2 = "bench-observability/2"
+
+#: Histogram leaves kept in bench summaries, in render order.
+HISTOGRAM_LEAVES = ("count", "mean", "p50", "p99")
+
+
+def _git_commit(cwd: Optional[pathlib.Path] = None) -> Optional[str]:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    commit = out.stdout.strip()
+    return commit if out.returncode == 0 and commit else None
+
+
+def environment_fingerprint(
+    seed: Optional[int] = None, repo_root: Optional[pathlib.Path] = None
+) -> dict[str, Any]:
+    """Where and how this run happened (stamped into every v2 snapshot)."""
+    try:
+        import numpy
+
+        numpy_version: Optional[str] = numpy.__version__
+    except Exception:  # pragma: no cover - numpy is a hard dependency
+        numpy_version = None
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "numpy": numpy_version,
+        "commit": _git_commit(repo_root),
+        "seed": seed,
+    }
+
+
+def scalar_summary(snapshot: Mapping[str, Mapping[str, Any]]) -> dict[str, Any]:
+    """Compress one registry snapshot to diff-friendly scalars.
+
+    Counters and gauges keep their value; histograms that observed
+    anything become ``{count, mean, p50, p99}`` dicts (the v1 layout —
+    :func:`flatten_summary` turns those into dotted leaves).
+    """
+    out: dict[str, Any] = {}
+    for name, data in sorted(snapshot.items()):
+        if data.get("type") in ("counter", "gauge"):
+            out[name] = data["value"]
+        elif data.get("type") == "histogram" and data.get("count"):
+            quantiles = data.get("quantiles") or {}
+            out[name] = {
+                "count": data["count"],
+                "mean": data["mean"],
+                "p50": quantiles.get("p50"),
+                "p99": quantiles.get("p99"),
+            }
+    return out
+
+
+def flatten_summary(summary: Mapping[str, Any]) -> dict[str, float]:
+    """Dotted flat floats from a scalar summary (drops None leaves)."""
+    flat: dict[str, float] = {}
+    for name, value in summary.items():
+        if isinstance(value, Mapping):
+            for leaf in HISTOGRAM_LEAVES:
+                leaf_value = value.get(leaf)
+                if leaf_value is not None:
+                    flat[f"{name}.{leaf}"] = float(leaf_value)
+        elif value is not None:
+            flat[name] = float(value)
+    return flat
+
+
+def make_snapshot(
+    module_runs: Mapping[str, Sequence[Mapping[str, float]]],
+    seed: Optional[int] = None,
+    repo_root: Optional[pathlib.Path] = None,
+    environment: Optional[dict[str, Any]] = None,
+) -> dict[str, Any]:
+    """Aggregate per-repeat flat summaries into a v2 snapshot document.
+
+    ``module_runs`` maps module name to one flat ``{metric: value}`` dict
+    per repeat. A metric missing from some repeats is aggregated over the
+    repeats that did record it; stdev is the sample standard deviation
+    (0.0 for a single repeat).
+    """
+    repeats = max((len(runs) for runs in module_runs.values()), default=0)
+    modules: dict[str, dict[str, dict[str, float]]] = {}
+    for module, runs in sorted(module_runs.items()):
+        names = sorted({name for run in runs for name in run})
+        stats: dict[str, dict[str, float]] = {}
+        for name in names:
+            values = [run[name] for run in runs if name in run]
+            stats[name] = {
+                "mean": statistics.fmean(values),
+                "stdev": statistics.stdev(values) if len(values) > 1 else 0.0,
+            }
+        modules[module] = stats
+    return {
+        "schema": SCHEMA_V2,
+        "environment": (
+            environment
+            if environment is not None
+            else environment_fingerprint(seed=seed, repo_root=repo_root)
+        ),
+        "repeats": repeats,
+        "modules": modules,
+    }
+
+
+def migrate(doc: Mapping[str, Any]) -> dict[str, Any]:
+    """Lift a v1 snapshot to v2 in place-compatible form.
+
+    Values become ``{"mean": value, "stdev": 0.0}``, nested histogram
+    dicts are flattened, and the environment is marked unknown (v1 never
+    recorded one). A v2 document passes through unchanged.
+    """
+    schema = doc.get("schema")
+    if schema == SCHEMA_V2:
+        return dict(doc)
+    if schema != SCHEMA_V1:
+        raise ValueError(f"not a bench snapshot (schema {schema!r})")
+    modules = {
+        module: {
+            name: {"mean": value, "stdev": 0.0}
+            for name, value in sorted(flatten_summary(summary).items())
+        }
+        for module, summary in sorted(doc.get("modules", {}).items())
+    }
+    return {
+        "schema": SCHEMA_V2,
+        "environment": {"migrated_from": SCHEMA_V1},
+        "repeats": 1,
+        "modules": modules,
+    }
+
+
+def load_snapshot(path: Union[str, pathlib.Path]) -> dict[str, Any]:
+    """Read a snapshot file, migrating v1 documents to v2 on the fly."""
+    with open(path) as handle:
+        doc = json.load(handle)
+    if not isinstance(doc, dict):
+        raise ValueError(f"{path}: not a snapshot document")
+    return migrate(doc) if doc.get("schema") == SCHEMA_V1 else doc
+
+
+def write_snapshot(path: Union[str, pathlib.Path], doc: Mapping[str, Any]) -> None:
+    with open(path, "w") as handle:
+        json.dump(doc, handle, indent=2, default=float, sort_keys=False)
+        handle.write("\n")

@@ -20,6 +20,14 @@ Telemetry export::
     kamel trace --export chrome -o trace.json -- compare --dataset porto
     kamel trace --export jsonl -- figure fig9  # one span tree per line
 
+Profiling and continuous benchmarking (see docs/observability.md)::
+
+    kamel profile -- compare --dataset porto   # stage table + cost ledger
+    kamel profile --format svg -o flame.svg -- figure fig9
+    kamel bench counting --repeats 3 --compare BENCH_observability.json
+    kamel bench counting --update-baseline     # refresh the committed snapshot
+    kamel stats before.json after.json         # side-by-side delta table
+
 Fault injection (see docs/resilience.md)::
 
     kamel chaos --failure-rate 0.3 --latency-rate 0.1 --deadline-ms 250
@@ -189,8 +197,20 @@ def render_stats(snapshot: dict) -> str:
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
-    if args.metrics_json:
-        with open(args.metrics_json) as handle:
+    files = args.metrics_json or []
+    if len(files) > 2:
+        print("kamel stats takes at most two snapshot files", file=sys.stderr)
+        return 2
+    if len(files) == 2:
+        # Side-by-side delta of two snapshots (registry --metrics-out
+        # documents or bench snapshots), via the bench comparator.
+        from repro.bench import compare_snapshots, load_snapshot, render_deltas
+
+        baseline, current = (load_snapshot(f) for f in files)
+        print(render_deltas(compare_snapshots(baseline, current)))
+        return 0
+    if len(files) == 1:
+        with open(files[0]) as handle:
             snapshot = json.load(handle)
         print(render_stats(snapshot))
         return 0
@@ -407,6 +427,108 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return rc
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Run a subcommand under the hierarchical profiler, then report."""
+    from repro.obs.profile import Profiler
+
+    rest = list(args.rest)
+    if rest and rest[0] == "--":
+        rest = rest[1:]
+    if not rest:
+        print(
+            "usage: kamel profile [--format table|collapsed|svg|json] "
+            "[-o PATH] -- <command ...>",
+            file=sys.stderr,
+        )
+        return 2
+    nested = build_parser().parse_args(rest)
+    with Profiler(capture_memory=not args.no_memory) as prof:
+        rc = nested.func(nested)
+    profile = prof.profile
+    assert profile is not None
+    if args.format == "collapsed":
+        rendered = profile.collapsed(value=args.weight)
+    elif args.format == "svg":
+        rendered = profile.render_flame()
+    elif args.format == "json":
+        rendered = json.dumps(profile.to_dict(), indent=2, default=float) + "\n"
+    else:
+        rendered = profile.render_table() + "\n"
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(rendered)
+        print(f"wrote {args.format} profile to {args.output}", file=sys.stderr)
+    else:
+        print(rendered, end="")
+    return rc
+
+
+def _render_environment(doc: dict) -> str:
+    env = doc.get("environment") or {}
+    parts = [f"{k}={v}" for k, v in env.items() if v is not None]
+    repeats = doc.get("repeats")
+    if repeats:
+        parts.append(f"repeats={repeats}")
+    return ", ".join(parts) if parts else "(no environment recorded)"
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Run a benchmark suite N times; snapshot, compare, maybe re-baseline."""
+    from repro.bench import (
+        SUITES,
+        BenchRunner,
+        CompareConfig,
+        compare_snapshots,
+        has_regressions,
+        load_snapshot,
+        render_deltas,
+        write_snapshot,
+    )
+    from repro.bench.runner import repo_root
+
+    if args.list:
+        for name, suite in sorted(SUITES.items()):
+            print(f"{name:12s} {suite.description}")
+        return 0
+    runner = BenchRunner(suite=args.suite, repeats=args.repeats, seed=args.seed)
+    print(
+        f"running bench suite {args.suite!r} x{args.repeats} "
+        f"(each repeat is a fresh pytest subprocess) ...",
+        file=sys.stderr,
+    )
+    doc = runner.run()
+    if args.output:
+        write_snapshot(args.output, doc)
+        print(f"wrote bench snapshot to {args.output}", file=sys.stderr)
+    rc = 0
+    if args.compare:
+        baseline = load_snapshot(args.compare)
+        config = CompareConfig(
+            timing_rel_tol=args.timing_tol, count_rel_tol=args.count_tol
+        )
+        deltas = compare_snapshots(baseline, doc, config)
+        print(f"baseline: {_render_environment(baseline)}")
+        print(f"current:  {_render_environment(doc)}")
+        print()
+        print(render_deltas(deltas, include_unchanged=args.verbose))
+        if has_regressions(deltas):
+            regressed = [d for d in deltas if d.classification == "regressed"]
+            print(
+                f"PERF GATE FAILED: {len(regressed)} regressed metric(s)",
+                file=sys.stderr,
+            )
+            rc = 1
+        else:
+            print("perf gate passed: no regressions", file=sys.stderr)
+    if args.update_baseline:
+        baseline_path = repo_root() / "BENCH_observability.json"
+        write_snapshot(baseline_path, doc)
+        print(f"updated baseline {baseline_path}", file=sys.stderr)
+    if not (args.compare or args.update_baseline or args.output):
+        print(json.dumps(doc, indent=2, default=float))
+    return rc
+
+
 def _cmd_inspect(args: argparse.Namespace) -> int:
     from repro.io import load_kamel
 
@@ -580,12 +702,97 @@ def build_parser() -> argparse.ArgumentParser:
         "stats", help="summarize a metrics snapshot (from --metrics-out)"
     )
     p_sts.add_argument(
-        "metrics_json", nargs="?", help="snapshot file; omit for this process's registry"
+        "metrics_json",
+        nargs="*",
+        help="snapshot file; two files print a side-by-side delta table; "
+        "omit for this process's registry",
     )
     p_sts.add_argument(
         "--catalog", action="store_true", help="list every known metric and its meaning"
     )
     p_sts.set_defaults(func=_cmd_stats)
+
+    p_prof = sub.add_parser(
+        "profile",
+        help="run a subcommand under the stage profiler (cost ledger, flame)",
+    )
+    p_prof.add_argument(
+        "--format",
+        choices=("table", "collapsed", "svg", "json"),
+        default="table",
+        help="table = stage ledger (default); collapsed = flamegraph-tool "
+        "input; svg = dependency-free flame view; json = machine-readable",
+    )
+    p_prof.add_argument(
+        "--weight",
+        choices=("wall", "calls"),
+        default="wall",
+        help="collapsed-stack sample unit: self wall-time in µs or span counts",
+    )
+    p_prof.add_argument(
+        "--no-memory",
+        action="store_true",
+        help="skip tracemalloc peak-memory capture (lower overhead)",
+    )
+    p_prof.add_argument("--output", "-o", default=None, help="write here instead of stdout")
+    p_prof.add_argument(
+        "rest",
+        nargs=argparse.REMAINDER,
+        metavar="command ...",
+        help="the kamel subcommand to profile, e.g. -- compare --dataset porto",
+    )
+    p_prof.set_defaults(func=_cmd_profile)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="run a benchmark suite N times, snapshot, compare to a baseline",
+    )
+    p_bench.add_argument(
+        "suite",
+        nargs="?",
+        default="counting",
+        help="suite name (see --list; default: counting)",
+    )
+    p_bench.add_argument(
+        "--repeats", type=int, default=3, help="independent suite runs (default 3)"
+    )
+    p_bench.add_argument("--seed", type=int, default=0, help="recorded suite seed")
+    p_bench.add_argument(
+        "--compare",
+        metavar="BASELINE",
+        default=None,
+        help="classify each metric against this snapshot; exit 1 on regression",
+    )
+    p_bench.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="write the new snapshot to BENCH_observability.json at the repo root",
+    )
+    p_bench.add_argument(
+        "--output", "-o", default=None, help="also write the snapshot here"
+    )
+    p_bench.add_argument(
+        "--timing-tol",
+        type=float,
+        default=0.35,
+        metavar="FRAC",
+        help="relative tolerance for wall-time metrics (default 0.35; raise "
+        "when comparing across machines)",
+    )
+    p_bench.add_argument(
+        "--count-tol",
+        type=float,
+        default=0.05,
+        metavar="FRAC",
+        help="relative tolerance for counters and exact metrics (default 0.05)",
+    )
+    p_bench.add_argument(
+        "--verbose", action="store_true", help="include unchanged metrics in the table"
+    )
+    p_bench.add_argument(
+        "--list", action="store_true", help="list the available suites and exit"
+    )
+    p_bench.set_defaults(func=_cmd_bench)
     return parser
 
 

@@ -151,8 +151,14 @@ class SegmentImputer(abc.ABC):
         if deadline is not None:
             deadline.check("segment imputation")
         tokens, position = self._query(seg, i, ctx)
-        raw = self.model.predict_masked(tokens, position, top_k=self.config.top_k_candidates)
-        return self.constraints.filter(raw, ctx, seg, i)
+        # Attribute-free spans: this runs once per model call, so the
+        # disabled-tracing cost must stay at one branch, no kwargs dict.
+        with span("model.predict"):
+            raw = self.model.predict_masked(
+                tokens, position, top_k=self.config.top_k_candidates
+            )
+        with span("constraints.filter"):
+            return self.constraints.filter(raw, ctx, seg, i)
 
     # -- the instrumented front door ---------------------------------------
 
@@ -182,6 +188,10 @@ class SegmentImputer(abc.ABC):
             )
         obs.count("repro.imputation.segments_total")
         obs.count(f"repro.imputation.{self.strategy_name}.segments_total")
+        # The histogram's P² quantiles are *estimates* (a p50 of 47.98
+        # calls is interpolation, not an observation); the counter is the
+        # exact total the profiler's cost ledger reconciles against.
+        obs.count("repro.imputation.model_calls_total", result.model_calls)
         obs.observe("repro.imputation.calls_per_segment", result.model_calls)
         if budget > 0:
             obs.observe(

@@ -252,9 +252,10 @@ class Kamel(Imputer):
         if not self.config.use_partitioning:
             return self._global_model
         assert self.repository is not None
-        stored: Optional[StoredModel] = self.guards.guarded_lookup(
-            lambda: self.repository.retrieve(box)
-        )
+        with span("repository.lookup"):
+            stored: Optional[StoredModel] = self.guards.guarded_lookup(
+                lambda: self.repository.retrieve(box)
+            )
         return stored.model if stored is not None else None
 
     # -- imputation path ----------------------------------------------------------
@@ -392,21 +393,22 @@ class Kamel(Imputer):
                 rung=RUNG_LINEAR, fallback_reason=reason,
             )
 
-        source = self.tokenizer.token_for_point(a)
-        dest = self.tokenizer.token_for_point(b)
-        if vocab.is_special(source) or vocab.is_special(dest):
-            return linear("endpoint_unseen")
+        with span("tokenize"):
+            source = self.tokenizer.token_for_point(a)
+            dest = self.tokenizer.token_for_point(b)
+            if vocab.is_special(source) or vocab.is_special(dest):
+                return linear("endpoint_unseen")
 
-        prev_token = None
-        if prev_pt is not None:
-            t = self.tokenizer.token_for_point(prev_pt)
-            if not vocab.is_special(t) and t != source:
-                prev_token = t
-        next_token = None
-        if next_pt is not None:
-            t = self.tokenizer.token_for_point(next_pt)
-            if not vocab.is_special(t) and t != dest:
-                next_token = t
+            prev_token = None
+            if prev_pt is not None:
+                t = self.tokenizer.token_for_point(prev_pt)
+                if not vocab.is_special(t) and t != source:
+                    prev_token = t
+            next_token = None
+            if next_pt is not None:
+                t = self.tokenizer.token_for_point(next_pt)
+                if not vocab.is_special(t) and t != dest:
+                    next_token = t
 
         ctx = GapContext(
             source=source,
@@ -461,9 +463,10 @@ class Kamel(Imputer):
                 reason = reason or "search_failed"
                 continue
 
-            interior_points = self.detokenizer.detokenize_interior(
-                result.interior or (), a, b
-            )
+            with span("detokenize"):
+                interior_points = self.detokenizer.detokenize_interior(
+                    result.interior or (), a, b
+                )
             interior_points = _assign_times(a, b, interior_points)
             DegradationLadder.record(rung)
             return interior_points, SegmentOutcome(

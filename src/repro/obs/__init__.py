@@ -1,6 +1,6 @@
 """Observability for the KAMEL pipeline: metrics, tracing, logging, export.
 
-Seven dependency-free modules:
+Eight dependency-free modules:
 
 * :mod:`repro.obs.metrics` — a process-local :class:`MetricsRegistry` of
   counters, gauges, and histograms (fixed buckets + streaming quantiles),
@@ -20,7 +20,11 @@ Seven dependency-free modules:
   ``/spans`` HTTP endpoint (:class:`ObservabilityServer`);
 * :mod:`repro.obs.instrument` — the integration layer the pipeline
   modules import: the canonical metric-name catalog, stopwatches, and
-  decorators.
+  decorators;
+* :mod:`repro.obs.profile` — the hierarchical :class:`Profiler` built on
+  the span hooks: per-stage wall/CPU self time, a model-call cost
+  ledger, peak-memory capture, and collapsed-stack / SVG flame output
+  (``kamel profile``).
 
 Quick look at what a run did::
 
@@ -72,6 +76,13 @@ from repro.obs.export import (
     write_spans_jsonl,
 )
 from repro.obs.server import ObservabilityServer
+from repro.obs.profile import (
+    PIPELINE_STAGES,
+    Profile,
+    Profiler,
+    StageCost,
+    collapsed_stacks,
+)
 from repro.obs.instrument import (
     METRIC_CATALOG,
     Stopwatch,
@@ -89,13 +100,18 @@ __all__ = [
     "MetricsRegistry",
     "MonitorHub",
     "ObservabilityServer",
+    "PIPELINE_STAGES",
+    "Profile",
+    "Profiler",
     "RollingMonitor",
     "RollingWindow",
     "Span",
+    "StageCost",
     "Stopwatch",
     "Threshold",
     "chrome_trace_json",
     "clear_spans",
+    "collapsed_stacks",
     "configure_logging",
     "current_trace_id",
     "disable_tracing",

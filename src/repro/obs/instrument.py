@@ -77,6 +77,7 @@ METRIC_CATALOG: dict[str, str] = {
     "repro.imputation.beam.segments_total": "Segments run by Algorithm 2 (beam search).",
     "repro.imputation.single_point.segments_total": "Segments run by the single-point ablation.",
     "repro.imputation.failures_total": "Segment searches that returned no token sequence.",
+    "repro.imputation.model_calls_total": "Exact masked-model calls across segment searches (the calls_per_segment quantiles are P² estimates; use this counter for totals).",
     "repro.imputation.budget_exhausted_total": "Segment searches stopped by the model-call budget.",
     "repro.imputation.calls_per_segment": "Model calls spent on one segment.",
     "repro.imputation.budget_consumed_ratio": "Fraction of the per-segment call budget spent.",

@@ -1,0 +1,368 @@
+"""Deterministic hierarchical profiling on top of the span-tracing hooks.
+
+:class:`Profiler` wraps any block of pipeline work — a ``Kamel.impute``
+batch, a whole ``kamel compare`` run — and turns the span trees plus the
+metrics-registry delta of that window into a :class:`Profile`:
+
+* **per-stage costs** — the paper's pipeline decomposition (tokenize →
+  partition-lookup → beam-score → constraints → detokenize) with wall
+  and thread-CPU *self* time, span counts, and stage work units taken
+  from the exact counters (model calls, candidates, lookups, tokens);
+* a **cost ledger** that attributes masked-model invocations to stages
+  from span attributes and reconciles them against the
+  ``repro.imputation.model_calls_total`` counter, so unattributed work
+  is visible as a coverage shortfall instead of silently missing;
+* ``tracemalloc``-based **peak memory** for the window;
+* **collapsed-stack** output (``a;b;c <value>`` lines, the format every
+  flamegraph tool eats) and, via :mod:`repro.viz.flame`, a
+  dependency-free SVG flame view.
+
+Aggregation is deterministic: stages, stacks, and metric deltas are
+sorted, and counts come from the registry's exact counters — only the
+wall/CPU columns vary run to run.
+
+Usage::
+
+    from repro.obs.profile import Profiler
+
+    with Profiler() as prof:
+        system.impute_batch(sparse)
+    print(prof.profile.render_table())
+    open("flame.svg", "w").write(prof.profile.render_flame())
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.tracing import Span, get_tracer
+
+__all__ = [
+    "PIPELINE_STAGES",
+    "Profile",
+    "Profiler",
+    "StageCost",
+    "collapsed_stacks",
+    "stage_for_span",
+]
+
+
+PIPELINE_STAGES: tuple[str, ...] = (
+    "tokenize",
+    "partition-lookup",
+    "beam-score",
+    "constraints",
+    "detokenize",
+    "other",
+)
+"""The ledger's stage axis, in pipeline order (``other`` collects spans
+outside the imputation path — harness, fit, streaming bookkeeping)."""
+
+
+_SPAN_STAGE: dict[str, str] = {
+    "tokenize": "tokenize",
+    "repository.lookup": "partition-lookup",
+    "repository.build_model": "partition-lookup",
+    "impute.segment": "beam-score",
+    "model.predict": "beam-score",
+    "bert.forward": "beam-score",
+    "constraints.filter": "constraints",
+    "detokenize": "detokenize",
+}
+
+_STAGE_WORK: dict[str, tuple[str, str]] = {
+    "partition-lookup": ("repro.partitioning.lookup_total", "lookups"),
+    "beam-score": ("repro.imputation.model_calls_total", "model calls"),
+    "constraints": ("repro.constraints.candidates_in_total", "candidates"),
+    "detokenize": ("repro.detokenization.tokens_total", "tokens"),
+}
+
+_MODEL_CALLS_METRIC = "repro.imputation.model_calls_total"
+
+
+def stage_for_span(name: str) -> str:
+    """The ledger stage a span name belongs to (``other`` if unmapped)."""
+    return _SPAN_STAGE.get(name, "other")
+
+
+@dataclass
+class StageCost:
+    """One row of the cost ledger."""
+
+    stage: str
+    spans: int = 0
+    wall_s: float = 0.0
+    cpu_s: float = 0.0
+    model_calls: int = 0
+    work: float = 0.0
+    work_unit: str = ""
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "stage": self.stage,
+            "spans": self.spans,
+            "wall_s": self.wall_s,
+            "cpu_s": self.cpu_s,
+            "model_calls": self.model_calls,
+            "work": self.work,
+            "work_unit": self.work_unit,
+        }
+
+
+def _scalar_values(snapshot: dict[str, dict]) -> dict[str, float]:
+    """Monotonic scalars of a registry snapshot, histograms flattened to
+    ``<name>.count`` / ``<name>.sum`` (gauges are excluded: deltas of a
+    value that can go down mean nothing)."""
+    out: dict[str, float] = {}
+    for name, data in snapshot.items():
+        kind = data.get("type")
+        if kind == "counter":
+            out[name] = float(data["value"])
+        elif kind == "histogram":
+            out[f"{name}.count"] = float(data.get("count", 0))
+            out[f"{name}.sum"] = float(data.get("sum", 0.0))
+    return out
+
+
+def collapsed_stacks(roots: list[Span], value: str = "wall") -> str:
+    """Span trees as collapsed-stack lines (``root;child;leaf <count>``).
+
+    ``value`` selects the sample unit: ``wall`` emits self-time in
+    microseconds, ``calls`` emits span counts. Identical stacks merge and
+    lines are sorted, so equal trees always render equal text — what the
+    determinism tests (and diffing two profiles) rely on.
+    """
+    if value not in ("wall", "calls"):
+        raise ValueError(f"value must be 'wall' or 'calls', got {value!r}")
+    totals: dict[tuple[str, ...], float] = {}
+
+    def visit(node: Span, path: tuple[str, ...]) -> None:
+        path = path + (node.name,)
+        if value == "calls":
+            amount = 1.0
+        else:
+            amount = (node.self_s or 0.0) * 1e6
+        totals[path] = totals.get(path, 0.0) + amount
+        for child in node.children:
+            visit(child, path)
+
+    for root in roots:
+        visit(root, ())
+    lines = [
+        f"{';'.join(path)} {int(round(total))}"
+        for path, total in sorted(totals.items())
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _table(headers: list[str], rows: list[list[str]]) -> str:
+    # Local renderer: repro.eval imports repro.core which imports this
+    # package, so reaching for repro.eval.report here would be circular.
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rows)) if rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    def fmt(cells: list[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+    line = "  ".join("-" * w for w in widths)
+    return "\n".join([fmt(headers), line] + [fmt(r) for r in rows])
+
+
+@dataclass
+class Profile:
+    """What one profiled window cost, by pipeline stage."""
+
+    wall_s: float
+    cpu_s: float
+    peak_memory_bytes: Optional[int]
+    stages: list[StageCost]
+    metrics_delta: dict[str, float]
+    roots: list[Span] = field(default_factory=list, repr=False)
+
+    # -- ledger reconciliation ------------------------------------------------
+
+    @property
+    def attributed_model_calls(self) -> int:
+        """Model calls the ledger pinned to a stage (from span attributes)."""
+        return sum(s.model_calls for s in self.stages)
+
+    @property
+    def reported_model_calls(self) -> float:
+        """Model calls the exact ``repro.imputation`` counter reported."""
+        return self.metrics_delta.get(_MODEL_CALLS_METRIC, 0.0)
+
+    @property
+    def model_call_coverage(self) -> float:
+        """Attributed / reported model calls (1.0 when nothing ran)."""
+        reported = self.reported_model_calls
+        if reported <= 0:
+            return 1.0
+        return self.attributed_model_calls / reported
+
+    # -- renderings -----------------------------------------------------------
+
+    def collapsed(self, value: str = "wall") -> str:
+        """Collapsed-stack lines for external flamegraph tooling."""
+        return collapsed_stacks(self.roots, value=value)
+
+    def render_flame(self, width_px: int = 1000) -> str:
+        """The dependency-free SVG flame view (see :mod:`repro.viz.flame`)."""
+        from repro.viz.flame import render_flame_svg
+
+        return render_flame_svg(self.collapsed(), width_px=width_px)
+
+    def render_table(self) -> str:
+        """The human-readable profile: stage ledger + reconciliation."""
+        header = (
+            f"profile: {self.wall_s:.3f} s wall, {self.cpu_s:.3f} s cpu"
+        )
+        if self.peak_memory_bytes is not None:
+            header += f", peak memory {self.peak_memory_bytes / 1e6:.1f} MB"
+        rows = []
+        for s in self.stages:
+            work = f"{s.work:.6g} {s.work_unit}" if s.work_unit else "-"
+            rows.append([
+                s.stage,
+                f"{s.wall_s:.4f}",
+                f"{s.cpu_s:.4f}",
+                str(s.spans),
+                str(s.model_calls),
+                work,
+            ])
+        table = _table(
+            ["stage", "wall_s", "cpu_s", "spans", "model_calls", "work"], rows
+        )
+        reported = self.reported_model_calls
+        ledger = (
+            f"cost ledger: {self.attributed_model_calls}/{reported:.0f} "
+            f"model calls attributed ({self.model_call_coverage:.1%})"
+        )
+        return "\n".join([header, "", table, "", ledger])
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "wall_s": self.wall_s,
+            "cpu_s": self.cpu_s,
+            "peak_memory_bytes": self.peak_memory_bytes,
+            "stages": [s.to_dict() for s in self.stages],
+            "model_calls": {
+                "attributed": self.attributed_model_calls,
+                "reported": self.reported_model_calls,
+                "coverage": self.model_call_coverage,
+            },
+            "metrics_delta": dict(sorted(self.metrics_delta.items())),
+        }
+
+
+def build_profile(
+    roots: list[Span],
+    metrics_delta: dict[str, float],
+    wall_s: float,
+    cpu_s: float,
+    peak_memory_bytes: Optional[int] = None,
+) -> Profile:
+    """Aggregate span trees + a registry delta into a :class:`Profile`.
+
+    Wall/CPU per stage use span *self* time (duration minus children), so
+    a ``model.predict`` span nested in ``impute.segment`` is counted once
+    even though both map to the beam-score stage.
+    """
+    stages = {name: StageCost(name) for name in PIPELINE_STAGES}
+    for root in roots:
+        for node in root.walk():
+            cost = stages[stage_for_span(node.name)]
+            cost.spans += 1
+            cost.wall_s += node.self_s or 0.0
+            if node.cpu_s is not None:
+                children_cpu = sum(c.cpu_s or 0.0 for c in node.children)
+                cost.cpu_s += max(0.0, node.cpu_s - children_cpu)
+            if node.name == "impute.segment":
+                cost.model_calls += int(node.attributes.get("model_calls", 0))
+    for stage, (metric, unit) in _STAGE_WORK.items():
+        stages[stage].work = metrics_delta.get(metric, 0.0)
+        stages[stage].work_unit = unit
+    stages["tokenize"].work = float(stages["tokenize"].spans)
+    stages["tokenize"].work_unit = "segments"
+    return Profile(
+        wall_s=wall_s,
+        cpu_s=cpu_s,
+        peak_memory_bytes=peak_memory_bytes,
+        stages=[stages[name] for name in PIPELINE_STAGES],
+        metrics_delta=metrics_delta,
+        roots=roots,
+    )
+
+
+class Profiler:
+    """Profile a block: spans + CPU capture + registry delta + peak memory.
+
+    Entering the context enables tracing (with CPU capture and an
+    uncapped root buffer), clears previously collected spans, snapshots
+    the registry, and starts ``tracemalloc``; exiting restores every
+    tracer setting it touched and materializes :attr:`profile`. The
+    profiled code itself needs no changes — it is the same instrumented
+    pipeline the always-on metrics ride.
+
+    ``capture_memory=False`` skips tracemalloc (it roughly doubles
+    allocation cost, which skews the wall-time columns of allocation-
+    heavy stages).
+    """
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        capture_memory: bool = True,
+    ) -> None:
+        self._registry = registry
+        self.capture_memory = capture_memory
+        self.profile: Optional[Profile] = None
+        self._before: dict[str, float] = {}
+        self._saved: tuple[bool, bool, int] = (False, False, 0)
+        self._started_tracemalloc = False
+        self._wall0 = 0.0
+        self._cpu0 = 0.0
+
+    def __enter__(self) -> "Profiler":
+        import time
+
+        registry = self._registry if self._registry is not None else get_registry()
+        self._registry = registry
+        self._before = _scalar_values(registry.snapshot())
+        tracer = get_tracer()
+        self._saved = (tracer.enabled, tracer.capture_cpu, tracer.max_roots)
+        tracer.clear()
+        tracer.capture_cpu = True
+        tracer.max_roots = 1_000_000
+        tracer.enabled = True
+        if self.capture_memory and not tracemalloc.is_tracing():
+            tracemalloc.start()
+            self._started_tracemalloc = True
+        self._wall0 = time.perf_counter()
+        self._cpu0 = time.process_time()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        import time
+
+        wall_s = time.perf_counter() - self._wall0
+        cpu_s = time.process_time() - self._cpu0
+        peak: Optional[int] = None
+        if self.capture_memory and tracemalloc.is_tracing():
+            _, peak = tracemalloc.get_traced_memory()
+            if self._started_tracemalloc:
+                tracemalloc.stop()
+        tracer = get_tracer()
+        roots = tracer.finished()
+        tracer.enabled, tracer.capture_cpu, tracer.max_roots = self._saved
+        assert self._registry is not None
+        after = _scalar_values(self._registry.snapshot())
+        delta = {
+            name: value - self._before.get(name, 0.0)
+            for name, value in after.items()
+            if value - self._before.get(name, 0.0) != 0.0
+        }
+        self.profile = build_profile(roots, delta, wall_s, cpu_s, peak)
+        return False

@@ -1,11 +1,26 @@
-"""SVG rendering of networks, trajectories, and imputation results.
+"""SVG rendering of networks, trajectories, imputations, and profiles.
 
 Pure-stdlib SVG string building (no plotting dependency), good enough to
 eyeball what the system did: roads in grey, the ground truth in green,
 the sparse input as dots, and the imputed path in blue with failed
-(straight-line) segments dashed red.
+(straight-line) segments dashed red — plus a flame view of collapsed
+profiler stacks (:mod:`repro.viz.flame`, fed by ``kamel profile``).
 """
 
+from repro.viz.flame import (
+    FlameNode,
+    parse_collapsed,
+    render_flame_svg,
+    write_flame_svg,
+)
 from repro.viz.svg import SvgCanvas, render_imputation, render_network
 
-__all__ = ["SvgCanvas", "render_imputation", "render_network"]
+__all__ = [
+    "FlameNode",
+    "SvgCanvas",
+    "parse_collapsed",
+    "render_flame_svg",
+    "render_imputation",
+    "render_network",
+    "write_flame_svg",
+]

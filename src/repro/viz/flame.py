@@ -1,0 +1,174 @@
+"""A dependency-free SVG flame view of collapsed-stack profiles.
+
+Input is the standard collapsed-stack text format every flamegraph tool
+exchanges (``frame;frame;frame <count>``, one line per merged stack) —
+exactly what :meth:`repro.obs.profile.Profile.collapsed` emits. Output
+is a deterministic icicle chart (root row on top, callees below): same
+text in, byte-identical SVG out, because frame colors come from a CRC of
+the frame name and children are laid out in sorted order, never from
+``hash()`` or a random palette.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import zlib
+from typing import Optional, Union
+from xml.sax.saxutils import escape
+
+__all__ = ["FlameNode", "parse_collapsed", "render_flame_svg", "write_flame_svg"]
+
+
+class FlameNode:
+    """One frame in the merged stack tree."""
+
+    __slots__ = ("name", "value", "self_value", "children")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+        self.self_value = 0.0
+        self.children: dict[str, "FlameNode"] = {}
+
+    def child(self, name: str) -> "FlameNode":
+        node = self.children.get(name)
+        if node is None:
+            node = self.children[name] = FlameNode(name)
+        return node
+
+    @property
+    def depth(self) -> int:
+        if not self.children:
+            return 1
+        return 1 + max(c.depth for c in self.children.values())
+
+
+def parse_collapsed(text: str) -> FlameNode:
+    """Collapsed-stack lines into a merged tree under a synthetic root.
+
+    A frame's ``value`` is its own samples plus every descendant's, so a
+    parent line (``a 10``) and its child line (``a;b 5``) combine into
+    a=15 with 5 attributed below — the standard flamegraph convention.
+    Blank lines are skipped; a line without a numeric tail is an error.
+    """
+    root = FlameNode("all")
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        stack, _, count = line.rpartition(" ")
+        if not stack:
+            raise ValueError(f"line {lineno}: no stack before the count: {line!r}")
+        try:
+            value = float(count)
+        except ValueError as exc:
+            raise ValueError(f"line {lineno}: bad sample count {count!r}") from exc
+        node = root
+        node.value += value
+        for frame in stack.split(";"):
+            node = node.child(frame)
+            node.value += value
+        node.self_value += value
+    return root
+
+
+_PALETTE = (
+    "#e6694a", "#e8893c", "#edaa3c", "#d9c13f", "#a8bf4d",
+    "#7ab85c", "#58b07e", "#4aa8a0", "#4e93bd", "#6a7fc9",
+    "#8d6cbf", "#b05fa8", "#c75a7f",
+)
+
+
+def _color(name: str) -> str:
+    """A stable warm color per frame name (CRC-indexed, not ``hash()``)."""
+    return _PALETTE[zlib.crc32(name.encode("utf-8")) % len(_PALETTE)]
+
+
+def render_flame_svg(
+    collapsed: str,
+    width_px: int = 1000,
+    row_px: int = 18,
+    min_fraction: float = 0.002,
+    title: str = "KAMEL profile",
+) -> str:
+    """Render collapsed-stack text as a self-contained SVG icicle chart.
+
+    Frames narrower than ``min_fraction`` of the total are dropped (they
+    would be sub-pixel); every drawn frame carries a ``<title>`` tooltip
+    with its name, value, and share.
+    """
+    if width_px <= 0 or row_px <= 0:
+        raise ValueError("width_px and row_px must be positive")
+    root = parse_collapsed(collapsed)
+    total = root.value
+    header_px = 24
+    if total <= 0:
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{width_px}" '
+            f'height="{header_px + row_px}">'
+            f'<text x="8" y="16" font-size="13">{escape(title)}: no samples</text>'
+            "</svg>\n"
+        )
+    height_px = header_px + root.depth * row_px
+    elements: list[str] = [
+        f'<rect width="100%" height="100%" fill="#fbfbf9"/>',
+        f'<text x="8" y="16" font-size="13" font-family="monospace">'
+        f"{escape(title)} — {total:.6g} samples</text>",
+    ]
+    scale = width_px / total
+
+    def emit(node: FlameNode, x: float, depth: int) -> None:
+        w = node.value * scale
+        if node.value / total < min_fraction:
+            return
+        y = header_px + (depth - 1) * row_px
+        share = node.value / total
+        tooltip = f"{node.name}: {node.value:.6g} ({share:.1%})"
+        elements.append(
+            f'<g><title>{escape(tooltip)}</title>'
+            f'<rect x="{x:.2f}" y="{y}" width="{max(w, 0.5):.2f}" '
+            f'height="{row_px - 1}" fill="{_color(node.name)}" rx="1"/>'
+        )
+        # ~7 px per character of monospace at font-size 11.
+        max_chars = int((w - 6) / 7)
+        if max_chars >= 2:
+            label = node.name
+            if len(label) > max_chars:
+                label = label[: max_chars - 1] + "…"
+            elements.append(
+                f'<text x="{x + 3:.2f}" y="{y + row_px - 6}" font-size="11" '
+                f'font-family="monospace" fill="#1a1a1a">{escape(label)}</text>'
+            )
+        elements.append("</g>")
+        cx = x
+        for name in sorted(node.children):
+            child = node.children[name]
+            emit(child, cx, depth + 1)
+            cx += child.value * scale
+
+    x = 0.0
+    for name in sorted(root.children):
+        child = root.children[name]
+        emit(child, x, 1)
+        x += child.value * scale
+    body = "\n".join(elements)
+    return (
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width_px}" '
+        f'height="{height_px}" viewBox="0 0 {width_px} {height_px}">\n'
+        f"{body}\n</svg>\n"
+    )
+
+
+def write_flame_svg(
+    path: Union[str, pathlib.Path],
+    collapsed: str,
+    width_px: int = 1000,
+    title: Optional[str] = None,
+) -> pathlib.Path:
+    """Render and write the flame view; returns the path."""
+    path = pathlib.Path(path)
+    svg = render_flame_svg(
+        collapsed, width_px=width_px, **({"title": title} if title else {})
+    )
+    path.write_text(svg)
+    return path

@@ -1,0 +1,267 @@
+"""Tests for repro.bench: snapshots, migration, comparator, runner.
+
+The comparator is the perf gate's brain, so its edge cases get explicit
+coverage: metrics missing on one side, zero-stdev counters, nested v1
+histogram dicts, and the canonical injected-2x-slowdown scenario the
+issue's acceptance criteria name.
+"""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    SCHEMA_V1,
+    SCHEMA_V2,
+    BenchRunner,
+    CompareConfig,
+    compare_snapshots,
+    has_regressions,
+    load_snapshot,
+    make_snapshot,
+    metric_direction,
+    migrate,
+    render_deltas,
+    scalar_summary,
+    stats_modules,
+)
+from repro.bench.snapshot import flatten_summary
+
+
+def _v2(modules):
+    return {
+        "schema": SCHEMA_V2,
+        "environment": {"python": "3.11"},
+        "repeats": 2,
+        "modules": modules,
+    }
+
+
+def _stat(mean, stdev=0.0):
+    return {"mean": mean, "stdev": stdev}
+
+
+class TestDirections:
+    def test_lower_is_better(self):
+        assert metric_direction("repro.kamel.impute_seconds.mean") == "lower"
+        assert metric_direction("repro.imputation.model_calls_total") == "lower"
+        assert metric_direction("repro.resilience.fallback.linear_total") == "lower"
+
+    def test_higher_is_better(self):
+        assert metric_direction("repro.eval.recall") == "higher"
+        assert metric_direction("repro.partitioning.lookup_hit_total") == "higher"
+
+    def test_counts_are_neutral(self):
+        # .count leaves are event counts, not latencies: a different
+        # number of observations must never fail the gate.
+        assert metric_direction("repro.kamel.impute_seconds.count") == "neutral"
+        assert metric_direction("repro.tokenization.segments_total") == "neutral"
+
+
+class TestComparatorEdgeCases:
+    def test_missing_metric_in_baseline_is_new(self):
+        deltas = compare_snapshots(
+            _v2({"m": {"repro.eval.recall": _stat(0.8)}}),
+            _v2({"m": {"repro.eval.recall": _stat(0.8),
+                       "repro.eval.precision": _stat(0.7)}}),
+        )
+        by_name = {d.metric: d for d in deltas}
+        assert by_name["repro.eval.precision"].classification == "new"
+        assert by_name["repro.eval.precision"].baseline is None
+        assert by_name["repro.eval.recall"].classification == "unchanged"
+
+    def test_missing_metric_in_current_is_missing(self):
+        deltas = compare_snapshots(
+            _v2({"m": {"repro.eval.recall": _stat(0.8)}}),
+            _v2({"m": {}}),
+        )
+        assert deltas[0].classification == "missing"
+        # New/missing never fail the gate on their own.
+        assert not has_regressions(deltas)
+
+    def test_zero_stdev_counter_drift_is_flagged(self):
+        # One extra model call on a zero-stdev counter: above the 5%
+        # count tolerance -> regressed; within it -> unchanged.
+        deltas = compare_snapshots(
+            _v2({"m": {"repro.imputation.model_calls_total": _stat(100.0)}}),
+            _v2({"m": {"repro.imputation.model_calls_total": _stat(110.0)}}),
+        )
+        assert deltas[0].classification == "regressed"
+        deltas = compare_snapshots(
+            _v2({"m": {"repro.imputation.model_calls_total": _stat(100.0)}}),
+            _v2({"m": {"repro.imputation.model_calls_total": _stat(104.0)}}),
+        )
+        assert deltas[0].classification == "unchanged"
+
+    def test_noisy_timing_within_sigmas_is_unchanged(self):
+        # 3.0 -> 3.9 s is +30%, but with stdev 0.4 the 3-sigma band
+        # (1.2 s) covers it: noise, not regression.
+        deltas = compare_snapshots(
+            _v2({"m": {"repro.kamel.fit_seconds.mean": _stat(3.0, 0.4)}}),
+            _v2({"m": {"repro.kamel.fit_seconds.mean": _stat(3.9, 0.1)}}),
+        )
+        assert deltas[0].classification == "unchanged"
+
+    def test_injected_2x_slowdown_regresses_and_identity_passes(self):
+        base = _v2({"m": {"repro.kamel.impute_seconds.mean": _stat(0.5, 0.01)}})
+        doubled = _v2({"m": {"repro.kamel.impute_seconds.mean": _stat(1.0, 0.01)}})
+        assert has_regressions(compare_snapshots(base, doubled))
+        assert not has_regressions(compare_snapshots(base, base))
+
+    def test_improvement_is_not_a_regression(self):
+        deltas = compare_snapshots(
+            _v2({"m": {"repro.kamel.impute_seconds.mean": _stat(1.0, 0.01)}}),
+            _v2({"m": {"repro.kamel.impute_seconds.mean": _stat(0.4, 0.01)}}),
+        )
+        assert deltas[0].classification == "improved"
+        assert not has_regressions(deltas)
+
+    def test_neutral_metric_changes_but_never_regresses(self):
+        deltas = compare_snapshots(
+            _v2({"m": {"repro.tokenization.segments_total": _stat(40.0)}}),
+            _v2({"m": {"repro.tokenization.segments_total": _stat(80.0)}}),
+        )
+        assert deltas[0].classification == "changed"
+        assert not has_regressions(deltas)
+
+    def test_custom_tolerances(self):
+        cfg = CompareConfig(timing_rel_tol=2.0)
+        deltas = compare_snapshots(
+            _v2({"m": {"repro.kamel.impute_seconds.mean": _stat(0.5)}}),
+            _v2({"m": {"repro.kamel.impute_seconds.mean": _stat(1.0)}}),
+            config=cfg,
+        )
+        assert deltas[0].classification == "unchanged"
+
+
+class TestV1Migration:
+    V1 = {
+        "schema": SCHEMA_V1,
+        "modules": {
+            "counting_scoring": {
+                "repro.kamel.model_calls_total": 2258.0,
+                # Nested histogram dict: the v1 layout.
+                "repro.imputation.calls_per_segment": {
+                    "count": 40, "mean": 56.45, "p50": 47.98, "p99": 142.01,
+                },
+            }
+        },
+    }
+
+    def test_migrate_flattens_nested_histograms(self):
+        doc = migrate(self.V1)
+        assert doc["schema"] == SCHEMA_V2
+        stats = doc["modules"]["counting_scoring"]
+        assert stats["repro.imputation.calls_per_segment.mean"] == _stat(56.45)
+        assert stats["repro.imputation.calls_per_segment.count"] == _stat(40.0)
+        assert stats["repro.kamel.model_calls_total"] == _stat(2258.0)
+        assert doc["environment"] == {"migrated_from": SCHEMA_V1}
+
+    def test_migrate_rejects_unknown_schema(self):
+        with pytest.raises(ValueError):
+            migrate({"schema": "bench-observability/99"})
+
+    def test_v1_compares_against_v2_via_stats_modules(self):
+        v1_stats = stats_modules(self.V1)
+        assert v1_stats["counting_scoring"][
+            "repro.imputation.calls_per_segment.p99"
+        ] == (142.01, 0.0)
+
+    def test_load_snapshot_migrates_v1(self, tmp_path):
+        path = tmp_path / "v1.json"
+        path.write_text(json.dumps(self.V1))
+        assert load_snapshot(path)["schema"] == SCHEMA_V2
+
+    def test_raw_registry_snapshot_normalizes(self):
+        raw = {
+            "repro.kamel.model_calls_total": {"type": "counter", "value": 9.0},
+            "repro.kamel.impute_seconds": {
+                "type": "histogram", "count": 3, "mean": 0.5, "sum": 1.5,
+                "quantiles": {"p50": 0.4, "p99": 0.9},
+            },
+        }
+        stats = stats_modules(raw)
+        assert stats[""]["repro.kamel.model_calls_total"] == (9.0, 0.0)
+        assert stats[""]["repro.kamel.impute_seconds.p50"] == (0.4, 0.0)
+
+
+class TestSnapshotBuilding:
+    def test_make_snapshot_mean_and_stdev(self):
+        doc = make_snapshot(
+            {"m": [{"a": 1.0, "b": 5.0}, {"a": 3.0, "b": 5.0}]}, seed=7
+        )
+        assert doc["schema"] == SCHEMA_V2
+        assert doc["repeats"] == 2
+        assert doc["environment"]["seed"] == 7
+        assert doc["environment"]["python"]
+        a = doc["modules"]["m"]["a"]
+        assert a["mean"] == pytest.approx(2.0)
+        assert a["stdev"] == pytest.approx(1.4142, abs=1e-3)
+        assert doc["modules"]["m"]["b"]["stdev"] == 0.0
+
+    def test_single_repeat_has_zero_stdev(self):
+        doc = make_snapshot({"m": [{"a": 1.0}]})
+        assert doc["modules"]["m"]["a"] == {"mean": 1.0, "stdev": 0.0}
+
+    def test_flatten_drops_none_quantiles(self):
+        flat = flatten_summary(
+            {"h": {"count": 2, "mean": 1.0, "p50": None, "p99": None}, "c": 4.0}
+        )
+        assert flat == {"h.count": 2.0, "h.mean": 1.0, "c": 4.0}
+
+    def test_scalar_summary_skips_empty_histograms(self):
+        summary = scalar_summary(
+            {"h": {"type": "histogram", "count": 0},
+             "c": {"type": "counter", "value": 2.0}}
+        )
+        assert summary == {"c": 2.0}
+
+
+class TestRunner:
+    def test_injected_collect_aggregates_repeats(self):
+        runs = iter([
+            {"mod": {"repro.eval.recall": 0.8, "repro.kamel.fit_seconds":
+                     {"count": 1, "mean": 2.0, "p50": 2.0, "p99": 2.0}}},
+            {"mod": {"repro.eval.recall": 0.9, "repro.kamel.fit_seconds":
+                     {"count": 1, "mean": 4.0, "p50": 4.0, "p99": 4.0}}},
+        ])
+        runner = BenchRunner(
+            suite="counting", repeats=2, seed=5, collect=lambda i: next(runs)
+        )
+        doc = runner.run()
+        stats = doc["modules"]["mod"]
+        assert stats["repro.eval.recall"]["mean"] == pytest.approx(0.85)
+        assert stats["repro.kamel.fit_seconds.mean"]["mean"] == pytest.approx(3.0)
+        assert stats["repro.kamel.fit_seconds.mean"]["stdev"] > 0
+
+    def test_unknown_suite_rejected(self):
+        with pytest.raises(ValueError, match="unknown suite"):
+            BenchRunner(suite="nope")
+        with pytest.raises(ValueError, match="repeats"):
+            BenchRunner(repeats=0)
+
+
+class TestRendering:
+    def test_render_hides_unchanged_by_default(self):
+        deltas = compare_snapshots(
+            _v2({"m": {"repro.eval.recall": _stat(0.8),
+                       "repro.kamel.impute_seconds.mean": _stat(1.0, 0.01)}}),
+            _v2({"m": {"repro.eval.recall": _stat(0.8),
+                       "repro.kamel.impute_seconds.mean": _stat(2.0, 0.01)}}),
+        )
+        text = render_deltas(deltas)
+        assert "regressed" in text
+        assert "recall" not in text
+        assert "1 unchanged" in text
+        verbose = render_deltas(deltas, include_unchanged=True)
+        assert "recall" in verbose
+
+    def test_render_orders_regressions_first(self):
+        deltas = compare_snapshots(
+            _v2({"m": {"repro.kamel.impute_seconds.mean": _stat(1.0, 0.01),
+                       "repro.eval.recall": _stat(0.5, 0.001)}}),
+            _v2({"m": {"repro.kamel.impute_seconds.mean": _stat(2.0, 0.01),
+                       "repro.eval.recall": _stat(0.9, 0.001)}}),
+        )
+        text = render_deltas(deltas)
+        assert text.find("regressed") < text.find("improved")

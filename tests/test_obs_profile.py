@@ -1,0 +1,202 @@
+"""Tests for repro.obs.profile: stage attribution, cost ledger, stacks.
+
+The profiler's promises are determinism (same spans -> same collapsed
+stacks, byte for byte) and accounting (the cost ledger attributes the
+model calls the metrics registry reports). Both are tested on hand-built
+span trees and on a real miniature imputation run.
+"""
+
+import pytest
+
+from repro.obs import (
+    PIPELINE_STAGES,
+    Profile,
+    Profiler,
+    collapsed_stacks,
+    get_registry,
+)
+from repro.obs.profile import build_profile, stage_for_span
+from repro.obs.tracing import Span, clear_spans, disable_tracing, get_tracer
+
+
+def _span(name, start, end, children=(), attributes=None, cpu=None):
+    s = Span(name, attributes=dict(attributes or {}))
+    s.start_s = start
+    s.end_s = end
+    s.children = list(children)
+    if cpu is not None:
+        s.cpu_start_s, s.cpu_end_s = 0.0, cpu
+    return s
+
+
+@pytest.fixture()
+def clean_tracer():
+    tracer = get_tracer()
+    saved = (tracer.enabled, tracer.capture_cpu, tracer.max_roots)
+    clear_spans()
+    yield tracer
+    tracer.enabled, tracer.capture_cpu, tracer.max_roots = saved
+    disable_tracing()
+    clear_spans()
+
+
+class TestCollapsedStacks:
+    def test_merges_and_sorts_deterministically(self):
+        # Two identical trees must merge; output must be sorted.
+        tree = _span(
+            "impute.segment", 0.0, 1.0,
+            children=[_span("model.predict", 0.0, 0.4)],
+        )
+        tree2 = _span(
+            "impute.segment", 2.0, 3.0,
+            children=[_span("model.predict", 2.0, 2.4)],
+        )
+        text = collapsed_stacks([tree, tree2])
+        assert text == collapsed_stacks([tree2, tree])
+        lines = text.strip().splitlines()
+        assert lines == sorted(lines)
+        # Self-time of the parents: 2 x (1.0 - 0.4) s = 1_200_000 us.
+        assert "impute.segment 1200000" in lines
+        assert "impute.segment;model.predict 800000" in lines
+
+    def test_calls_weighting(self):
+        tree = _span(
+            "impute.segment", 0.0, 1.0,
+            children=[_span("model.predict", 0.0, 0.1),
+                      _span("model.predict", 0.1, 0.2)],
+        )
+        text = collapsed_stacks([tree], value="calls")
+        assert "impute.segment 1" in text
+        assert "impute.segment;model.predict 2" in text
+
+    def test_empty_input_and_bad_value(self):
+        assert collapsed_stacks([]) == ""
+        with pytest.raises(ValueError):
+            collapsed_stacks([], value="bytes")
+
+
+class TestStageAttribution:
+    def test_self_time_lands_in_the_right_stage(self):
+        root = _span(
+            "impute.segment", 0.0, 1.0,
+            attributes={"model_calls": 7},
+            children=[
+                _span("model.predict", 0.0, 0.3),
+                _span("constraints.filter", 0.3, 0.5),
+                _span("detokenize", 0.5, 0.6),
+            ],
+        )
+        profile = build_profile([root], {}, wall_s=1.0, cpu_s=1.0)
+        stages = {c.stage: c for c in profile.stages}
+        assert set(stages) == set(PIPELINE_STAGES)
+        # impute.segment self-time (0.4 s) plus model.predict (0.3 s)
+        # are both beam-score work, counted once each via self-time.
+        assert stages["beam-score"].wall_s == pytest.approx(0.7)
+        assert stages["constraints"].wall_s == pytest.approx(0.2)
+        assert stages["detokenize"].wall_s == pytest.approx(0.1)
+        assert stages["beam-score"].model_calls == 7
+        assert profile.attributed_model_calls == 7
+
+    def test_unknown_spans_fall_into_other(self):
+        assert stage_for_span("something.weird") == "other"
+        root = _span("something.weird", 0.0, 2.0)
+        profile = build_profile([root], {}, wall_s=2.0, cpu_s=2.0)
+        stages = {c.stage: c for c in profile.stages}
+        assert stages["other"].wall_s == pytest.approx(2.0)
+
+    def test_cpu_time_aggregates_when_present(self):
+        root = _span("model.predict", 0.0, 1.0, cpu=0.8)
+        profile = build_profile([root], {}, wall_s=1.0, cpu_s=0.8)
+        stages = {c.stage: c for c in profile.stages}
+        assert stages["beam-score"].cpu_s == pytest.approx(0.8)
+
+    def test_work_units_come_from_the_metrics_delta(self):
+        delta = {
+            "repro.imputation.model_calls_total": 42.0,
+            "repro.constraints.candidates_in_total": 250.0,
+        }
+        profile = build_profile([], delta, wall_s=0.0, cpu_s=0.0)
+        stages = {c.stage: c for c in profile.stages}
+        assert stages["beam-score"].work == 42.0
+        assert stages["beam-score"].work_unit == "model calls"
+        assert stages["constraints"].work == 250.0
+
+
+class TestLedgerCoverage:
+    def test_coverage_against_reported_counter(self):
+        root = _span(
+            "impute.segment", 0.0, 1.0, attributes={"model_calls": 19}
+        )
+        delta = {"repro.imputation.model_calls_total": 20.0}
+        profile = build_profile([root], delta, wall_s=1.0, cpu_s=1.0)
+        assert profile.reported_model_calls == 20.0
+        assert profile.attributed_model_calls == 19
+        assert profile.model_call_coverage == pytest.approx(0.95)
+
+    def test_full_coverage_when_nothing_ran(self):
+        profile = build_profile([], {}, wall_s=0.0, cpu_s=0.0)
+        assert profile.model_call_coverage == 1.0
+
+    def test_render_table_mentions_the_ledger(self):
+        root = _span("impute.segment", 0.0, 1.0, attributes={"model_calls": 3})
+        profile = build_profile(
+            [root], {"repro.imputation.model_calls_total": 3.0},
+            wall_s=1.0, cpu_s=1.0,
+        )
+        text = profile.render_table()
+        assert "cost ledger: 3/3 model calls attributed (100.0%)" in text
+        assert "beam-score" in text
+
+
+def _tiny_kamel_run():
+    """Train + impute KAMEL on a miniature porto-like workload."""
+    from repro.eval.harness import ExperimentRunner, build_workload, kamel_builder
+    from repro.roadnet.datasets import make_porto_like
+
+    workload = build_workload(
+        make_porto_like(n_trajectories=24, seed=3), max_test=4
+    )
+    ExperimentRunner(workload).run("KAMEL", kamel_builder())
+
+
+class TestProfilerEndToEnd:
+    def test_real_run_attributes_95_percent(self, clean_tracer):
+        # A miniature end-to-end imputation: the acceptance bar is that
+        # the stage ledger accounts for >= 95% of the model calls the
+        # repro.imputation metrics report.
+        get_registry().reset()
+        with Profiler(capture_memory=False) as session:
+            _tiny_kamel_run()
+        profile = session.profile
+        assert isinstance(profile, Profile)
+        assert profile.reported_model_calls > 0
+        assert profile.model_call_coverage >= 0.95
+        stages = {c.stage: c for c in profile.stages}
+        assert stages["beam-score"].model_calls == profile.attributed_model_calls
+
+    def test_collapsed_and_json_outputs(self, clean_tracer):
+        get_registry().reset()
+        with Profiler(capture_memory=False) as session:
+            _tiny_kamel_run()
+        profile = session.profile
+        collapsed = profile.collapsed()
+        assert "impute.segment" in collapsed
+        doc = profile.to_dict()
+        assert {s["stage"] for s in doc["stages"]} == set(PIPELINE_STAGES)
+        assert doc["model_calls"]["coverage"] >= 0.95
+
+    def test_profiler_restores_tracer_config(self, clean_tracer):
+        tracer = clean_tracer
+        tracer.enabled = False
+        tracer.capture_cpu = False
+        with Profiler(capture_memory=False):
+            assert tracer.enabled is True
+            assert tracer.capture_cpu is True
+        assert tracer.enabled is False
+        assert tracer.capture_cpu is False
+
+    def test_peak_memory_captured_when_asked(self, clean_tracer):
+        with Profiler(capture_memory=True) as session:
+            _ = [0] * 50_000
+        assert session.profile.peak_memory_bytes is not None
+        assert session.profile.peak_memory_bytes > 0
