@@ -8,7 +8,8 @@ that know two things a naive diff does not:
 * **metric direction** — ``repro.kamel.impute_seconds`` going *down* is
   an improvement, ``repro.eval`` recall going down is a regression, and
   a changed segment count is neither (``changed``: surfaced, but never
-  failing a gate);
+  failing a gate); metrics present on only one side render as ``added``
+  / ``removed`` rather than pretending to have moved;
 * **noise** — a delta only counts when it clears the larger of a
   relative tolerance (generous for wall-time metrics, tight for exact
   counters) and ``noise_sigmas`` times the run-to-run stdev recorded in
@@ -55,6 +56,12 @@ _LOWER_IS_BETTER = (
     "lookup_miss",
     "retries",
     "latency",
+    "unseen_cell_mass",
+    "_psi",
+    "cell_js",
+    ".ece",
+    "calibration_gap",
+    "snap_distance",
 )
 
 _HIGHER_IS_BETTER = (
@@ -124,7 +131,7 @@ class Delta:
     baseline_stdev: float
     current: Optional[float]
     current_stdev: float
-    classification: str  # improved|unchanged|regressed|changed|new|missing
+    classification: str  # improved|unchanged|regressed|changed|added|removed
     direction: str
 
     @property
@@ -204,9 +211,9 @@ def compare_snapshots(
             bmean, bstd = base_stats.get(name, (None, 0.0))
             cmean, cstd = cur_stats.get(name, (None, 0.0))
             if not in_base:
-                classification = "new"
+                classification = "added"
             elif not in_cur:
-                classification = "missing"
+                classification = "removed"
             else:
                 classification = _classify(name, bmean, bstd, cmean, cstd, cfg)
             deltas.append(
@@ -229,7 +236,7 @@ def has_regressions(deltas: Iterable[Delta]) -> bool:
 
 
 _SEVERITY = {
-    "regressed": 0, "missing": 1, "changed": 2, "improved": 3, "new": 4, "unchanged": 5,
+    "regressed": 0, "removed": 1, "changed": 2, "improved": 3, "added": 4, "unchanged": 5,
 }
 
 

@@ -57,6 +57,11 @@ SUITES: dict[str, Suite] = {
         ("bench_fig11_timing.py",),
         "figure 11 train/impute wall-time regeneration",
     ),
+    "quality": Suite(
+        "quality",
+        ("bench_quality_obs.py",),
+        "quality-observability enabled-path cost and drift/ECE signals",
+    ),
     "all": Suite(
         "all",
         ("",),  # the whole benchmarks/ directory

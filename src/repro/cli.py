@@ -32,6 +32,12 @@ Fault injection (see docs/resilience.md)::
 
     kamel chaos --failure-rate 0.3 --latency-rate 0.1 --deadline-ms 250
     kamel chaos --seed 7 --trajectories 40 --json
+
+Quality observability (see docs/observability.md)::
+
+    kamel quality --heatmap quality.svg --quality-out quality.json
+    kamel drift                # shifted traffic: drift monitor breaches
+    kamel drift --control      # training-city traffic: stays green
 """
 
 from __future__ import annotations
@@ -196,6 +202,24 @@ def render_stats(snapshot: dict) -> str:
     return "\n\n".join(sections)
 
 
+def _load_snapshot_or_fail(path: str):
+    """Read a snapshot file, or print why it can't be used and return None.
+
+    Both ``kamel stats`` and ``kamel bench --compare`` funnel user-supplied
+    files through here so a missing file or malformed JSON is a one-line
+    error and a non-zero exit, not a traceback.
+    """
+    from repro.bench import load_snapshot
+
+    try:
+        return load_snapshot(path)
+    except OSError as exc:
+        print(f"error: cannot read snapshot {path!r}: {exc}", file=sys.stderr)
+    except ValueError as exc:  # includes json.JSONDecodeError
+        print(f"error: {path!r} is not a valid snapshot: {exc}", file=sys.stderr)
+    return None
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     files = args.metrics_json or []
     if len(files) > 2:
@@ -204,14 +228,25 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     if len(files) == 2:
         # Side-by-side delta of two snapshots (registry --metrics-out
         # documents or bench snapshots), via the bench comparator.
-        from repro.bench import compare_snapshots, load_snapshot, render_deltas
+        from repro.bench import compare_snapshots, render_deltas
 
-        baseline, current = (load_snapshot(f) for f in files)
-        print(render_deltas(compare_snapshots(baseline, current)))
+        docs = []
+        for path in files:
+            doc = _load_snapshot_or_fail(path)
+            if doc is None:
+                return 2
+            docs.append(doc)
+        try:
+            deltas = compare_snapshots(docs[0], docs[1])
+        except ValueError as exc:  # JSON, but not a snapshot document
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(render_deltas(deltas))
         return 0
     if len(files) == 1:
-        with open(files[0]) as handle:
-            snapshot = json.load(handle)
+        snapshot = _load_snapshot_or_fail(files[0])
+        if snapshot is None:
+            return 2
         print(render_stats(snapshot))
         return 0
     if args.catalog:
@@ -480,7 +515,6 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         CompareConfig,
         compare_snapshots,
         has_regressions,
-        load_snapshot,
         render_deltas,
         write_snapshot,
     )
@@ -490,6 +524,19 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         for name, suite in sorted(SUITES.items()):
             print(f"{name:12s} {suite.description}")
         return 0
+    baseline = None
+    if args.compare:
+        # Validate the baseline *before* spending minutes on the suite.
+        from repro.bench.compare import stats_modules
+
+        baseline = _load_snapshot_or_fail(args.compare)
+        if baseline is None:
+            return 2
+        try:
+            stats_modules(baseline)
+        except ValueError as exc:
+            print(f"error: {args.compare!r}: {exc}", file=sys.stderr)
+            return 2
     runner = BenchRunner(suite=args.suite, repeats=args.repeats, seed=args.seed)
     print(
         f"running bench suite {args.suite!r} x{args.repeats} "
@@ -501,8 +548,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         write_snapshot(args.output, doc)
         print(f"wrote bench snapshot to {args.output}", file=sys.stderr)
     rc = 0
-    if args.compare:
-        baseline = load_snapshot(args.compare)
+    if baseline is not None:
         config = CompareConfig(
             timing_rel_tol=args.timing_tol, count_rel_tol=args.count_tol
         )
@@ -527,6 +573,135 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if not (args.compare or args.update_baseline or args.output):
         print(json.dumps(doc, indent=2, default=float))
     return rc
+
+
+def _cmd_quality(args: argparse.Namespace) -> int:
+    """Measure confidence calibration on a porto-like workload."""
+    from repro.core.config import KamelConfig
+    from repro.core.kamel import Kamel
+    from repro.eval.harness import calibrate
+    from repro.obs.quality import quality_report
+
+    scale = Scale.full() if args.full else Scale.small()
+    workload = porto_workload(scale).with_sparseness(args.sparseness)
+    print("training the quality-demo system ...", file=sys.stderr)
+    system = Kamel(KamelConfig(maxgap_m=workload.maxgap_m)).fit(list(workload.train))
+    system.enable_quality_observability()
+    results = system.impute_batch(list(workload.test_sparse))
+    ledger = calibrate(
+        workload,
+        results,
+        tracker=system.quality_tracker,
+        grid=system.tokenizer.grid,
+        bins=args.bins,
+    )
+    rows = []
+    for row in ledger.rows():
+        if not row.count and not args.verbose:
+            continue
+        rows.append(
+            [
+                f"[{row.lower:.1f}, {row.upper:.1f})",
+                str(row.count),
+                f"{row.mean_confidence:.3f}" if row.count else "-",
+                f"{row.mean_accuracy:.3f}" if row.count else "-",
+                f"{row.gap:.3f}" if row.count else "-",
+            ]
+        )
+    print(
+        render_table(
+            ["confidence bin", "count", "mean conf", "mean acc", "gap"], rows
+        )
+    )
+    print(f"ECE: {ledger.ece():.4f} over {ledger.total} scored segments")
+    if args.heatmap:
+        from repro.viz.heatmap import write_heatmap_svg
+
+        spatial = system.quality_tracker.spatial
+        write_heatmap_svg(
+            args.heatmap,
+            spatial.quality_scores(),
+            system.tokenizer.grid,
+            counts=spatial.point_counts(),
+        )
+        print(f"wrote quality heatmap to {args.heatmap}", file=sys.stderr)
+    if args.quality_out:
+        with open(args.quality_out, "w") as handle:
+            json.dump(quality_report(), handle, indent=2, default=float)
+        print(f"wrote /quality payload to {args.quality_out}", file=sys.stderr)
+    return 0
+
+
+def _cmd_drift(args: argparse.Namespace) -> int:
+    """Fit one synthetic city, serve another's traffic, report drift.
+
+    The default run serves traffic from a *different* road layout, so the
+    unseen-cell-mass score climbs and the drift monitor breaches;
+    ``--control`` serves held-out traffic from the *training* city
+    instead, demonstrating the monitor staying green on in-distribution
+    load.
+    """
+    from repro.core.config import KamelConfig
+    from repro.core.kamel import Kamel
+    from repro.obs.instrument import monitors
+    from repro.roadnet import (
+        CityConfig,
+        SimulatorConfig,
+        TrajectorySimulator,
+        generate_city,
+    )
+
+    print("training on city A ...", file=sys.stderr)
+    city_a = generate_city(
+        CityConfig(
+            width_m=1500.0, height_m=1500.0, block_m=250.0,
+            n_roundabouts=1, seed=args.seed,
+        )
+    )
+    train = TrajectorySimulator(
+        city_a, SimulatorConfig(sample_interval_s=2.0, seed=args.seed + 2)
+    ).simulate(args.train_trajectories)
+    # Small cells on purpose: drift shows up as serving points landing in
+    # cells the training city never visited, which needs a grid fine
+    # enough that the two road layouts do not share every cell.
+    system = Kamel(KamelConfig(cell_edge_m=25.0, max_model_calls=200)).fit(train)
+    system.enable_quality_observability(min_observations=args.min_observations)
+
+    if args.control:
+        serve_city, label = city_a, "control (training city)"
+    else:
+        serve_city, label = (
+            generate_city(
+                CityConfig(
+                    width_m=1500.0, height_m=1500.0, block_m=180.0,
+                    n_roundabouts=2, seed=args.seed + 8,
+                )
+            ),
+            "shifted (different city)",
+        )
+    feed = TrajectorySimulator(
+        serve_city, SimulatorConfig(sample_interval_s=2.0, seed=args.seed + 99)
+    ).simulate(args.trajectories)
+    print(f"serving {len(feed)} {label} trajectories ...", file=sys.stderr)
+    for trajectory in feed:
+        system.impute(trajectory.sparsify(args.sparseness))
+
+    detector = system.drift_detector
+    assert detector is not None
+    if args.json:
+        payload = detector.to_dict()
+        payload["monitor"] = monitors().drift.to_dict()
+        print(json.dumps(payload, indent=2, default=float))
+        return 0
+    rows = [
+        [name, f"{value:.4f}"] for name, value in sorted(detector.scores.items())
+    ]
+    rows.append(["window trajectories", str(detector.window_trajectories)])
+    rows.append(
+        ["drift monitor", "BREACHED" if monitors().drift.breached else "ok"]
+    )
+    print(render_table(["drift signal", "value"], rows))
+    return 0
 
 
 def _cmd_inspect(args: argparse.Namespace) -> int:
@@ -743,6 +918,56 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_prof.set_defaults(func=_cmd_profile)
 
+    p_qual = sub.add_parser(
+        "quality",
+        help="measure confidence calibration (ECE table, heatmap, /quality JSON)",
+    )
+    p_qual.add_argument(
+        "--sparseness", type=float, default=800.0, help="imposed gap (m)"
+    )
+    p_qual.add_argument(
+        "--bins", type=int, default=10, help="confidence bins (default 10)"
+    )
+    p_qual.add_argument(
+        "--heatmap", metavar="SVG",
+        help="write the per-cell quality choropleth here",
+    )
+    p_qual.add_argument(
+        "--quality-out", metavar="JSON",
+        help="write the full /quality payload here",
+    )
+    p_qual.add_argument(
+        "--verbose", action="store_true", help="include empty confidence bins"
+    )
+    p_qual.add_argument("--full", action="store_true", help="full-scale run (slow)")
+    p_qual.set_defaults(func=_cmd_quality)
+
+    p_drift = sub.add_parser(
+        "drift",
+        help="demo input-drift detection: train city A, serve shifted traffic",
+    )
+    p_drift.add_argument(
+        "--control",
+        action="store_true",
+        help="serve held-out traffic from the training city instead (stays green)",
+    )
+    p_drift.add_argument("--seed", type=int, default=3, help="city/traffic RNG seed")
+    p_drift.add_argument(
+        "--train-trajectories", type=int, default=60, help="training trips"
+    )
+    p_drift.add_argument(
+        "--trajectories", type=int, default=40, help="serving trips to impute"
+    )
+    p_drift.add_argument(
+        "--sparseness", type=float, default=800.0, help="imposed gap (m)"
+    )
+    p_drift.add_argument(
+        "--min-observations", type=int, default=8,
+        help="trajectories in the window before scoring (default 8)",
+    )
+    p_drift.add_argument("--json", action="store_true", help="machine-readable report")
+    p_drift.set_defaults(func=_cmd_drift)
+
     p_bench = sub.add_parser(
         "bench",
         help="run a benchmark suite N times, snapshot, compare to a baseline",
@@ -802,15 +1027,30 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         configure_logging(level=args.log_level, fmt=args.log_format)
     if args.trace:
         enable_tracing()
+    epilogue_rc = 0
     try:
-        return args.func(args)
+        rc = args.func(args)
     finally:
+        # Snapshots/spans are written even when the subcommand raised, but
+        # an unwritable --metrics-out path must be a clean non-zero exit,
+        # not a traceback out of a finally block.
         if args.metrics_out:
-            get_registry().write_json(args.metrics_out)
-            print(f"wrote metrics snapshot to {args.metrics_out}", file=sys.stderr)
+            try:
+                get_registry().write_json(args.metrics_out)
+                print(
+                    f"wrote metrics snapshot to {args.metrics_out}", file=sys.stderr
+                )
+            except OSError as exc:
+                print(
+                    f"error: cannot write metrics snapshot to "
+                    f"{args.metrics_out!r}: {exc}",
+                    file=sys.stderr,
+                )
+                epilogue_rc = 2
         if args.trace:
             for root in finished_spans():
                 print(root.render(), file=sys.stderr)
+    return epilogue_rc or rc
 
 
 if __name__ == "__main__":

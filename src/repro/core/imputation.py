@@ -47,6 +47,11 @@ class SegmentImputation:
     confidence: Optional[float] = None
     """The strategy's own score for the returned sequence (see
     :attr:`repro.core.result.SegmentOutcome.confidence`)."""
+    point_confidences: tuple[float, ...] = ()
+    """Per-interior-token confidences, aligned with ``interior``: the
+    model probability of the candidate chosen at each position (under the
+    winning beam, for beam search). Empty for failed segments and for the
+    trivial no-gap case; otherwise ``len == len(interior)``."""
 
     @property
     def failed(self) -> bool:
@@ -231,6 +236,7 @@ class IterativeImputer(SegmentImputer):
         self, ctx: GapContext, deadline: Optional[Deadline] = None
     ) -> SegmentImputation:
         seg: list[int] = [ctx.source, ctx.dest]
+        probs: list[float] = []
         calls = 0
         probability = 1.0
         budget = self._call_budget(ctx)
@@ -244,11 +250,19 @@ class IterativeImputer(SegmentImputer):
                 return SegmentImputation(None, calls)
             best_token, best_prob = candidates[0]
             probability *= best_prob
+            # seg position pointer+1 holds interior index pointer (the
+            # source endpoint occupies seg[0]), so probs tracks interior.
             seg.insert(pointer + 1, best_token)
+            probs.insert(pointer, best_prob)
             pointer = self.find_first_gap(seg)
         interior = tuple(seg[1:-1])
         normalized = probability * max(1, len(interior)) ** self.config.length_norm_alpha
-        return SegmentImputation(interior, calls, confidence=min(1.0, normalized))
+        return SegmentImputation(
+            interior,
+            calls,
+            confidence=min(1.0, normalized),
+            point_confidences=tuple(probs),
+        )
 
 
 @dataclass(frozen=True)
@@ -259,6 +273,8 @@ class _Beam:
     prob: float
     pointer: int
     """The gap position this beam entry will expand next."""
+    probs: tuple[float, ...] = ()
+    """Per-interior-token probabilities, aligned with ``seg[1:-1]``."""
 
 
 class BeamSearchImputer(SegmentImputer):
@@ -280,13 +296,13 @@ class BeamSearchImputer(SegmentImputer):
             return SegmentImputation((), 0, confidence=1.0)
 
         all_gaps: list[_Beam] = [_Beam(initial, 1.0, first_gap)]
-        answers: list[tuple[tuple[int, ...], float]] = []
+        answers: list[tuple[tuple[int, ...], float, tuple[float, ...]]] = []
         prob_limit = float("-inf")
         calls = 0
         budget = self._call_budget(ctx)
 
         while all_gaps:
-            new_segments: list[tuple[tuple[int, ...], float]] = []
+            new_segments: list[tuple[tuple[int, ...], float, tuple[float, ...]]] = []
             for beam in all_gaps:
                 if calls >= budget:
                     break
@@ -298,7 +314,13 @@ class BeamSearchImputer(SegmentImputer):
                         + (token,)
                         + beam.seg[beam.pointer + 1 :]
                     )
-                    new_segments.append((seg, beam.prob * p))
+                    # seg position pointer+1 is interior index pointer.
+                    probs = (
+                        beam.probs[: beam.pointer]
+                        + (p,)
+                        + beam.probs[beam.pointer :]
+                    )
+                    new_segments.append((seg, beam.prob * p, probs))
             if calls >= budget and not new_segments:
                 break
 
@@ -306,29 +328,32 @@ class BeamSearchImputer(SegmentImputer):
             # completed normalized score so far.
             new_segments.sort(key=lambda sp: -sp[1])
             survivors = [
-                (seg, prob)
-                for seg, prob in new_segments
+                (seg, prob, probs)
+                for seg, prob, probs in new_segments
                 if self._normalized(seg, prob) >= prob_limit
             ][: cfg.beam_size]
 
             all_gaps = []
-            for seg, prob in survivors:
+            for seg, prob, probs in survivors:
                 gaps = self.find_gaps(seg)
                 if not gaps:
                     score = self._normalized(seg, prob)
-                    answers.append((seg, score))
+                    answers.append((seg, score, probs))
                     prob_limit = max(prob_limit, score)
                 else:
                     for g in gaps:
-                        all_gaps.append(_Beam(seg, prob, g))
+                        all_gaps.append(_Beam(seg, prob, g, probs))
             if calls >= budget:
                 break
 
         if not answers:
             return SegmentImputation(None, calls)
-        best_seg, best_score = max(answers, key=lambda sp: sp[1])
+        best_seg, best_score, best_probs = max(answers, key=lambda sp: sp[1])
         return SegmentImputation(
-            best_seg[1:-1], calls, confidence=min(1.0, best_score)
+            best_seg[1:-1],
+            calls,
+            confidence=min(1.0, best_score),
+            point_confidences=best_probs,
         )
 
 
@@ -354,7 +379,10 @@ class SinglePointImputer(SegmentImputer):
         if not candidates:
             return SegmentImputation(None, 1)
         return SegmentImputation(
-            (candidates[0][0],), 1, confidence=candidates[0][1]
+            (candidates[0][0],),
+            1,
+            confidence=candidates[0][1],
+            point_confidences=(candidates[0][1],),
         )
 
 

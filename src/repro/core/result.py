@@ -37,10 +37,21 @@ class SegmentOutcome:
     """Why the segment left the top rung (``"endpoint_unseen"``,
     ``"no_model"``, ``"search_failed"``, ``"deadline"``,
     ``"circuit_open"``, ``"rung_error"``); ``None`` at the top rung."""
+    point_confidences: tuple[float, ...] = ()
+    """Per-imputed-point confidences, aligned with the segment's imputed
+    points in trajectory order: the model probability of the candidate
+    chosen at each position (detokenization is 1:1 token → point, so the
+    token-level scores carry over). Empty for failed segments and for
+    imputers that do not score per point (baselines, linear fallback);
+    otherwise ``len == imputed_points``."""
 
     def __post_init__(self) -> None:
         if self.rung is None:
             object.__setattr__(self, "rung", "linear" if self.failed else "full")
+        if not isinstance(self.point_confidences, tuple):
+            object.__setattr__(
+                self, "point_confidences", tuple(self.point_confidences)
+            )
 
     @property
     def degraded(self) -> bool:
@@ -94,6 +105,17 @@ class ImputationResult:
     @property
     def total_model_calls(self) -> int:
         return sum(s.model_calls for s in self.segments)
+
+    @property
+    def point_confidences(self) -> dict[int, tuple[float, ...]]:
+        """Per-point confidences of every scored segment, keyed by the
+        segment's ``start_index`` (segments without per-point scores —
+        failures, baselines — are omitted)."""
+        return {
+            s.start_index: s.point_confidences
+            for s in self.segments
+            if s.point_confidences
+        }
 
 
 class Imputer(abc.ABC):

@@ -1,6 +1,6 @@
 """Observability for the KAMEL pipeline: metrics, tracing, logging, export.
 
-Eight dependency-free modules:
+Ten dependency-free modules:
 
 * :mod:`repro.obs.metrics` — a process-local :class:`MetricsRegistry` of
   counters, gauges, and histograms (fixed buckets + streaming quantiles),
@@ -24,7 +24,16 @@ Eight dependency-free modules:
 * :mod:`repro.obs.profile` — the hierarchical :class:`Profiler` built on
   the span hooks: per-stage wall/CPU self time, a model-call cost
   ledger, peak-memory capture, and collapsed-stack / SVG flame output
-  (``kamel profile``).
+  (``kamel profile``);
+* :mod:`repro.obs.drift` — input-drift detection: a compact
+  :class:`DistributionSketch` of training-time cell and feature
+  distributions, an online :class:`DriftDetector` over recent serving
+  traffic, and divergence scores (unseen-cell mass, PSI, JS) wired to
+  the ``drift`` monitor;
+* :mod:`repro.obs.quality` — confidence calibration and spatial quality
+  attribution: a :class:`ReliabilityLedger` (ECE + per-bin rows), a
+  per-cell :class:`SpatialQualityMap`, and the :class:`QualityTracker`
+  feeding the ``calibration`` monitor and the ``/quality`` endpoint.
 
 Quick look at what a run did::
 
@@ -76,6 +85,20 @@ from repro.obs.export import (
     write_spans_jsonl,
 )
 from repro.obs.server import ObservabilityServer
+from repro.obs.drift import (
+    DistributionSketch,
+    DriftDetector,
+    population_stability_index,
+    smoothed_js_divergence,
+)
+from repro.obs.quality import (
+    BinRow,
+    QualityTracker,
+    ReliabilityLedger,
+    SpatialQualityMap,
+    quality_report,
+    quality_state,
+)
 from repro.obs.profile import (
     PIPELINE_STAGES,
     Profile,
@@ -92,7 +115,10 @@ from repro.obs.instrument import (
 )
 
 __all__ = [
+    "BinRow",
     "Counter",
+    "DistributionSketch",
+    "DriftDetector",
     "Gauge",
     "Histogram",
     "LevelWindow",
@@ -103,10 +129,12 @@ __all__ = [
     "PIPELINE_STAGES",
     "Profile",
     "Profiler",
+    "QualityTracker",
+    "ReliabilityLedger",
     "RollingMonitor",
     "RollingWindow",
     "Span",
-    "StageCost",
+    "SpatialQualityMap",
     "Stopwatch",
     "Threshold",
     "chrome_trace_json",
@@ -122,9 +150,13 @@ __all__ = [
     "get_tracer",
     "monitors",
     "new_trace_id",
+    "population_stability_index",
     "prometheus_name",
+    "quality_report",
+    "quality_state",
     "render_prometheus",
     "set_registry",
+    "smoothed_js_divergence",
     "span",
     "spans_to_chrome_trace",
     "spans_to_jsonl",

@@ -1,0 +1,414 @@
+"""Input-distribution drift detection for a serving KAMEL system.
+
+The models a :class:`~repro.core.kamel.Kamel` system serves with were fit
+on one spatial distribution of traffic; when the serving region or its
+density shifts (new neighbourhoods, rerouted arteries, a different city
+altogether), imputation quality degrades *silently* — the pipeline stays
+fast and alive while returning garbage. This module makes that shift
+observable:
+
+* :class:`DistributionSketch` — a compact histogram of the training-time
+  traffic: grid-cell visit counts plus fixed-bucket histograms of three
+  trajectory features (segment length, gap duration, speed). Built at
+  ``fit``/``add_training`` time and persisted alongside the serialized
+  model store (``drift.json``), so a *loaded* system still knows what it
+  was trained on.
+* :class:`DriftDetector` — a rolling window of per-trajectory sketches
+  over recent serving traffic, compared to the reference after every
+  observation. Three divergence scores over the cell histograms: the
+  population-stability index (PSI, with epsilon smoothing), the smoothed
+  Jensen–Shannon divergence, and the *unseen-cell mass* — the fraction
+  of recent serving points landing in cells the training data never
+  visited. Scores land in gauges (``repro.drift.*``), and the headline
+  unseen-cell mass feeds the ``MonitorHub.drift`` rolling monitor, whose
+  edge-triggered threshold flips ``/healthz`` to ``degraded`` — a
+  drifting deployment reads as unhealthy, not just a slow one.
+
+The unseen-cell mass is the headline because it is the one score robust
+to a *thin* serving window: each point is independently in or out of the
+training support, so a handful of trajectories already measure it
+faithfully, and same-region traffic scores near zero no matter how
+sparse. PSI and JS see the full density redistribution (and so catch
+same-support shifts the unseen mass cannot), but are inflated by
+support concentration until the window covers the region — treat them as
+trend gauges. Feature-level drift (segment length / gap duration /
+speed) is diagnostic only: serving input is sparse while training input
+is dense, so those distributions differ by construction and must not
+gate health.
+
+Everything here is stdlib-only and cheap: observing one trajectory is
+O(points), scoring is O(cells in the union), and nothing runs at all
+unless drift detection was explicitly enabled (the hot loop keeps its
+single ``is None`` branch).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Any, Iterable, Mapping, Optional, Sequence
+
+from repro.obs import instrument as obs
+
+__all__ = [
+    "DistributionSketch",
+    "DriftDetector",
+    "FEATURE_BUCKETS",
+    "population_stability_index",
+    "smoothed_js_divergence",
+]
+
+
+FEATURE_BUCKETS: dict[str, tuple[float, ...]] = {
+    # Upper edges (exclusive) of the fixed feature buckets; one implicit
+    # overflow bucket follows the last edge. Roughly log-spaced to cover
+    # dense 15 s sampling through kilometre-scale sparsified gaps.
+    "segment_length_m": (10.0, 25.0, 50.0, 100.0, 200.0, 400.0, 800.0, 1600.0),
+    "gap_duration_s": (5.0, 10.0, 20.0, 40.0, 80.0, 160.0, 320.0, 640.0),
+    "speed_mps": (2.0, 5.0, 8.0, 12.0, 16.0, 22.0, 30.0, 45.0),
+}
+"""Bucket edges for the per-feature histograms, keyed by feature name."""
+
+_SMOOTHING = 1e-4
+"""Epsilon mass given to empty buckets so disjoint supports stay finite."""
+
+
+def _bucket_index(edges: Sequence[float], value: float) -> int:
+    for k, edge in enumerate(edges):
+        if value < edge:
+            return k
+    return len(edges)
+
+
+def _normalize(counts: Sequence[float]) -> list[float]:
+    total = float(sum(counts))
+    n = len(counts)
+    if total <= 0:
+        return [1.0 / n] * n
+    # Epsilon smoothing, renormalized: buckets present only on one side
+    # contribute a large-but-finite term instead of an infinite one.
+    return [(c + _SMOOTHING * total) / (total * (1.0 + _SMOOTHING * n)) for c in counts]
+
+
+def population_stability_index(
+    reference: Sequence[float], current: Sequence[float]
+) -> float:
+    """PSI between two aligned count vectors (smoothed, symmetric-ish).
+
+    The credit-scoring rule of thumb reads < 0.1 as stable, 0.1–0.25 as
+    moderate shift, and > 0.25 as a significant one; fully disjoint
+    supports score far above 1 under the epsilon smoothing.
+    """
+    if len(reference) != len(current):
+        raise ValueError(
+            f"aligned vectors required, got {len(reference)} vs {len(current)}"
+        )
+    p = _normalize(reference)
+    q = _normalize(current)
+    return float(sum((qi - pi) * math.log(qi / pi) for pi, qi in zip(p, q)))
+
+
+def smoothed_js_divergence(
+    reference: Sequence[float], current: Sequence[float]
+) -> float:
+    """Jensen–Shannon divergence (base e, smoothed), bounded by ln 2."""
+    if len(reference) != len(current):
+        raise ValueError(
+            f"aligned vectors required, got {len(reference)} vs {len(current)}"
+        )
+    p = _normalize(reference)
+    q = _normalize(current)
+    js = 0.0
+    for pi, qi in zip(p, q):
+        mi = 0.5 * (pi + qi)
+        js += 0.5 * pi * math.log(pi / mi) + 0.5 * qi * math.log(qi / mi)
+    return float(js)
+
+
+def _aligned(
+    reference: Mapping[Any, float], current: Mapping[Any, float]
+) -> tuple[list[float], list[float]]:
+    """Two aligned count vectors over the key union, sorted for determinism."""
+    keys = sorted(set(reference) | set(current))
+    return (
+        [float(reference.get(k, 0.0)) for k in keys],
+        [float(current.get(k, 0.0)) for k in keys],
+    )
+
+
+class DistributionSketch:
+    """Cell-visit counts plus feature histograms for a set of trajectories.
+
+    ``grid`` is any :class:`repro.grid.base.Grid`; cells are its integer
+    lattice coordinates. The sketch is additive (``observe_trajectory``
+    accumulates) and serializable (``to_dict``/``from_dict``), and two
+    sketches built over the same grid are directly comparable.
+    """
+
+    __slots__ = ("cell_counts", "feature_counts", "trajectories")
+
+    def __init__(self) -> None:
+        self.cell_counts: dict[tuple[int, int], int] = {}
+        self.feature_counts: dict[str, list[int]] = {
+            name: [0] * (len(edges) + 1) for name, edges in FEATURE_BUCKETS.items()
+        }
+        self.trajectories = 0
+
+    # -- building ----------------------------------------------------------
+
+    def observe_trajectory(self, trajectory, grid) -> None:
+        """Accumulate one trajectory's cells and pairwise features."""
+        points = trajectory.points
+        for p in points:
+            cell = grid.cell_of(p)
+            self.cell_counts[cell] = self.cell_counts.get(cell, 0) + 1
+        for a, b in zip(points, points[1:]):
+            distance = a.distance_to(b)
+            self._observe_feature("segment_length_m", distance)
+            if a.t is not None and b.t is not None and b.t > a.t:
+                duration = b.t - a.t
+                self._observe_feature("gap_duration_s", duration)
+                self._observe_feature("speed_mps", distance / duration)
+        self.trajectories += 1
+
+    def _observe_feature(self, name: str, value: float) -> None:
+        edges = FEATURE_BUCKETS[name]
+        self.feature_counts[name][_bucket_index(edges, value)] += 1
+
+    @classmethod
+    def from_trajectories(cls, trajectories: Iterable, grid) -> "DistributionSketch":
+        sketch = cls()
+        for trajectory in trajectories:
+            sketch.observe_trajectory(trajectory, grid)
+        return sketch
+
+    @classmethod
+    def from_token_store(cls, store, tokenizer) -> "DistributionSketch":
+        """Rebuild a reference sketch from a tokenized trajectory store.
+
+        The fallback for model directories serialized before sketches
+        existed: cells come straight from the stored tokens, features from
+        token centroids and timestamps — coarser than raw points (centroid
+        snapping quantizes distances) but on the same grid, so the cell
+        histogram is exact.
+        """
+        sketch = cls()
+        vocab = tokenizer.vocabulary
+        for seq in store:
+            cells = []
+            for token, t in zip(seq.tokens, seq.times):
+                if vocab.is_special(token):
+                    continue
+                cell = tokenizer.cell_of_token(token)
+                cells.append((cell, t))
+                sketch.cell_counts[cell] = sketch.cell_counts.get(cell, 0) + 1
+            for (cell_a, t_a), (cell_b, t_b) in zip(cells, cells[1:]):
+                distance = tokenizer.grid.cell_distance_m(cell_a, cell_b)
+                sketch._observe_feature("segment_length_m", distance)
+                if t_a is not None and t_b is not None and t_b > t_a:
+                    duration = t_b - t_a
+                    sketch._observe_feature("gap_duration_s", duration)
+                    sketch._observe_feature("speed_mps", distance / duration)
+            sketch.trajectories += 1
+        return sketch
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def total_points(self) -> int:
+        return sum(self.cell_counts.values())
+
+    @property
+    def num_cells(self) -> int:
+        return len(self.cell_counts)
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "cells": {f"{q}_{r}": c for (q, r), c in sorted(self.cell_counts.items())},
+            "features": {k: list(v) for k, v in sorted(self.feature_counts.items())},
+            "trajectories": self.trajectories,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "DistributionSketch":
+        sketch = cls()
+        for name, count in payload.get("cells", {}).items():
+            q, r = (int(v) for v in name.split("_"))
+            sketch.cell_counts[(q, r)] = int(count)
+        for name, counts in payload.get("features", {}).items():
+            if name in sketch.feature_counts and len(counts) == len(
+                sketch.feature_counts[name]
+            ):
+                sketch.feature_counts[name] = [int(c) for c in counts]
+        sketch.trajectories = int(payload.get("trajectories", 0))
+        return sketch
+
+    def __repr__(self) -> str:
+        return (
+            f"DistributionSketch(cells={self.num_cells}, "
+            f"points={self.total_points}, trajectories={self.trajectories})"
+        )
+
+
+DEFAULT_DRIFT_WINDOW = 64
+"""Serving trajectories the online sketch covers before evicting."""
+
+DEFAULT_DRIFT_LIMIT = 0.25
+"""Unseen-cell-mass limit for the drift monitor threshold: same-city
+control traffic measures well under 0.05 (only GPS noise pushes points
+off the trained cells), while traffic from a shifted road layout lands
+most of its points in never-trained cells (> 0.5)."""
+
+
+class DriftDetector:
+    """Windowed divergence of serving traffic against a training sketch.
+
+    ``observe`` pushes one serving trajectory into a rolling window of
+    per-trajectory mini-sketches (evicting the oldest beyond ``window``),
+    recomputes the divergence scores, updates the ``repro.drift.*``
+    gauges, and feeds the headline unseen-cell mass into
+    ``monitors().drift`` — where an edge-triggered threshold (installed
+    by :meth:`Kamel.enable_quality_observability` or a streaming alert)
+    turns sustained drift into a ``/healthz`` breach.
+    """
+
+    def __init__(
+        self,
+        reference: DistributionSketch,
+        grid,
+        window: int = DEFAULT_DRIFT_WINDOW,
+        min_observations: int = 8,
+    ) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        if reference.total_points == 0:
+            raise ValueError("reference sketch is empty; fit the system first")
+        self.reference = reference
+        self.grid = grid
+        self.min_observations = min_observations
+        self._window: deque[DistributionSketch] = deque(maxlen=window)
+        self._online_cells: dict[tuple[int, int], int] = {}
+        self._online_features: dict[str, list[int]] = {
+            name: [0] * (len(edges) + 1) for name, edges in FEATURE_BUCKETS.items()
+        }
+        self._scores: dict[str, float] = {}
+
+    # -- observation -------------------------------------------------------
+
+    def observe(self, trajectory) -> dict[str, float]:
+        """Fold one serving trajectory in; returns the fresh scores."""
+        mini = DistributionSketch()
+        mini.observe_trajectory(trajectory, self.grid)
+        if len(self._window) == self._window.maxlen:
+            self._subtract(self._window[0])
+        self._window.append(mini)
+        self._add(mini)
+        obs.count("repro.drift.observations_total")
+        return self._rescore()
+
+    def _add(self, mini: DistributionSketch) -> None:
+        for cell, count in mini.cell_counts.items():
+            self._online_cells[cell] = self._online_cells.get(cell, 0) + count
+        for name, counts in mini.feature_counts.items():
+            agg = self._online_features[name]
+            for k, c in enumerate(counts):
+                agg[k] += c
+
+    def _subtract(self, mini: DistributionSketch) -> None:
+        for cell, count in mini.cell_counts.items():
+            remaining = self._online_cells.get(cell, 0) - count
+            if remaining > 0:
+                self._online_cells[cell] = remaining
+            else:
+                self._online_cells.pop(cell, None)
+        for name, counts in mini.feature_counts.items():
+            agg = self._online_features[name]
+            for k, c in enumerate(counts):
+                agg[k] = max(0, agg[k] - c)
+
+    # -- scoring -----------------------------------------------------------
+
+    def _rescore(self) -> dict[str, float]:
+        ref_cells, cur_cells = _aligned(self.reference.cell_counts, self._online_cells)
+        current_total = sum(self._online_cells.values())
+        unseen = 0
+        if current_total:
+            ref = self.reference.cell_counts
+            unseen = sum(
+                count
+                for cell, count in self._online_cells.items()
+                if cell not in ref
+            )
+        scores = {
+            "cell_psi": population_stability_index(ref_cells, cur_cells),
+            "cell_js": smoothed_js_divergence(ref_cells, cur_cells),
+            "unseen_cell_mass": unseen / current_total if current_total else 0.0,
+        }
+        for name in FEATURE_BUCKETS:
+            scores[f"feature.{name.rsplit('_', 1)[0]}_psi"] = (
+                population_stability_index(
+                    self.reference.feature_counts[name], self._online_features[name]
+                )
+            )
+        self._scores = scores
+        obs.gauge("repro.drift.cell_psi").set(scores["cell_psi"])
+        obs.gauge("repro.drift.cell_js").set(scores["cell_js"])
+        obs.gauge("repro.drift.feature.segment_length_psi").set(
+            scores["feature.segment_length_psi"]
+        )
+        obs.gauge("repro.drift.feature.gap_duration_psi").set(
+            scores["feature.gap_duration_psi"]
+        )
+        obs.gauge("repro.drift.feature.speed_psi").set(scores["feature.speed_psi"])
+        obs.gauge("repro.drift.unseen_cell_mass").set(scores["unseen_cell_mass"])
+        obs.gauge("repro.drift.window_trajectories").set(len(self._window))
+        # The headline score drives health. Unseen-cell mass is the one
+        # score robust to a thin serving window: each point is judged
+        # in-or-out of the training support independently, so it needs no
+        # support-coverage correction — whereas PSI/JS over the full cell
+        # histogram are inflated by sparse-window support concentration
+        # and only converge once the window covers the region. Before
+        # min_observations feed 0.0: the monitor's min_count also guards
+        # the threshold, but a half-full window right after enabling must
+        # not read as drift.
+        headline = scores["unseen_cell_mass"] if self.ready else 0.0
+        obs.monitors().drift.observe(headline)
+        return scores
+
+    # -- state -------------------------------------------------------------
+
+    @property
+    def ready(self) -> bool:
+        """Whether the window holds enough traffic to score meaningfully."""
+        return len(self._window) >= self.min_observations
+
+    @property
+    def scores(self) -> dict[str, float]:
+        """The most recent divergence scores (empty before any traffic)."""
+        return dict(self._scores)
+
+    @property
+    def window_trajectories(self) -> int:
+        return len(self._window)
+
+    def to_dict(self) -> dict[str, Any]:
+        """The ``/quality`` endpoint's drift section."""
+        return {
+            "ready": self.ready,
+            "window_trajectories": len(self._window),
+            "window_capacity": self._window.maxlen,
+            "reference": {
+                "cells": self.reference.num_cells,
+                "points": self.reference.total_points,
+                "trajectories": self.reference.trajectories,
+            },
+            "online_cells": len(self._online_cells),
+            "scores": dict(sorted(self._scores.items())),
+        }
+
+    def __repr__(self) -> str:
+        psi = self._scores.get("cell_psi")
+        shown = f"{psi:.3f}" if psi is not None else "-"
+        return f"DriftDetector(window={len(self._window)}, cell_psi={shown})"

@@ -1,0 +1,402 @@
+"""Confidence calibration and spatial quality attribution.
+
+:attr:`~repro.core.result.SegmentOutcome.confidence` is the imputer's own
+score for each filled gap — but a score is only useful if it is
+*calibrated*: a segment reported at 0.9 should be right about 9 times in
+10. This module closes that loop, and attributes quality to *places*:
+
+* :class:`ReliabilityLedger` — fixed confidence bins accumulating
+  (confidence, realized accuracy) pairs and reporting the expected
+  calibration error (ECE) plus per-bin rows. Two ledgers run side by
+  side: a ground-truth ledger fed by the eval harness (realized accuracy
+  = fraction of truth probes within ``delta_m`` of the imputed polyline)
+  and an online ledger fed with *proxy* accuracy where no truth exists —
+  the degradation-ladder rung the segment resolved at, weighted by
+  :data:`PROXY_RUNG_ACCURACY`, with constraint-rejection rate and
+  detokenization snap distance exposed alongside as supporting proxies.
+* :class:`SpatialQualityMap` — per-grid-cell counters (points imputed,
+  failures, degradations, confidence and accuracy sums) answering "where
+  is imputation bad"; :func:`repro.viz.heatmap.render_heatmap_svg` turns
+  its scores into the choropleth behind ``kamel quality --heatmap``.
+* :class:`QualityTracker` — the two ledgers plus the spatial map behind
+  one ``observe_segment`` call, feeding the ``repro.quality.*`` gauges
+  and the ``MonitorHub.calibration`` rolling monitor (windowed
+  |confidence − realized|, whose threshold breaches ``/healthz``).
+
+State is keyed by registry (a ``WeakKeyDictionary``), matching how
+monitors hang off :class:`~repro.obs.metrics.MetricsRegistry`: tests and
+benchmarks that swap registries get fresh quality state with them, and
+the ``/quality`` endpoint reads whichever registry its server pins.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional, Sequence
+
+from repro.obs import instrument as obs
+from repro.obs.drift import DriftDetector
+from repro.obs.metrics import MetricsRegistry, get_registry
+
+__all__ = [
+    "PROXY_RUNG_ACCURACY",
+    "BinRow",
+    "ReliabilityLedger",
+    "CellQuality",
+    "SpatialQualityMap",
+    "QualityTracker",
+    "QualityState",
+    "quality_state",
+    "quality_report",
+]
+
+
+PROXY_RUNG_ACCURACY: dict[str, float] = {
+    "full": 1.0,
+    "reduced_beam": 0.7,
+    "counting": 0.4,
+    "linear": 0.0,
+}
+"""Online proxy for realized accuracy when no ground truth exists: which
+degradation-ladder rung resolved the segment. The weights mirror the
+measured accuracy ordering of the rungs (full beam > reduced beam >
+counting fallback > straight line) without pretending to be probabilities
+— they make the online ledger *directionally* comparable to the
+ground-truth one, nothing more."""
+
+DEFAULT_CONFIDENCE_BINS = 10
+
+
+@dataclass(frozen=True)
+class BinRow:
+    """One confidence bin of a reliability ledger."""
+
+    lower: float
+    upper: float
+    count: int
+    mean_confidence: float
+    mean_accuracy: float
+
+    @property
+    def gap(self) -> float:
+        """|confidence − accuracy| for this bin (0 when empty)."""
+        return abs(self.mean_confidence - self.mean_accuracy) if self.count else 0.0
+
+
+class ReliabilityLedger:
+    """Confidence-vs-realized-accuracy bins with ECE.
+
+    ``record(confidence, accuracy)`` drops one observation into the bin
+    its confidence falls in; :meth:`ece` is the standard expected
+    calibration error Σ (n_b/N)·|conf̄_b − acc̄_b| over the bins.
+    """
+
+    __slots__ = ("bins", "_counts", "_conf_sums", "_acc_sums")
+
+    def __init__(self, bins: int = DEFAULT_CONFIDENCE_BINS) -> None:
+        if bins < 1:
+            raise ValueError(f"need at least one bin, got {bins}")
+        self.bins = bins
+        self._counts = [0] * bins
+        self._conf_sums = [0.0] * bins
+        self._acc_sums = [0.0] * bins
+
+    def record(self, confidence: float, accuracy: float) -> None:
+        confidence = min(1.0, max(0.0, float(confidence)))
+        accuracy = min(1.0, max(0.0, float(accuracy)))
+        k = min(self.bins - 1, int(confidence * self.bins))
+        self._counts[k] += 1
+        self._conf_sums[k] += confidence
+        self._acc_sums[k] += accuracy
+
+    @property
+    def total(self) -> int:
+        return sum(self._counts)
+
+    def ece(self) -> float:
+        """Expected calibration error over the current bins (0 when empty)."""
+        total = self.total
+        if total == 0:
+            return 0.0
+        error = 0.0
+        for n, conf, acc in zip(self._counts, self._conf_sums, self._acc_sums):
+            if n:
+                error += (n / total) * abs(conf / n - acc / n)
+        return error
+
+    def rows(self) -> list[BinRow]:
+        """Per-bin (confidence, realized accuracy, count) rows, all bins."""
+        width = 1.0 / self.bins
+        out = []
+        for k, (n, conf, acc) in enumerate(
+            zip(self._counts, self._conf_sums, self._acc_sums)
+        ):
+            out.append(
+                BinRow(
+                    lower=k * width,
+                    upper=(k + 1) * width,
+                    count=n,
+                    mean_confidence=conf / n if n else 0.0,
+                    mean_accuracy=acc / n if n else 0.0,
+                )
+            )
+        return out
+
+    def reset(self) -> None:
+        self._counts = [0] * self.bins
+        self._conf_sums = [0.0] * self.bins
+        self._acc_sums = [0.0] * self.bins
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "total": self.total,
+            "ece": self.ece(),
+            "bins": [
+                {
+                    "lower": row.lower,
+                    "upper": row.upper,
+                    "count": row.count,
+                    "mean_confidence": row.mean_confidence,
+                    "mean_accuracy": row.mean_accuracy,
+                }
+                for row in self.rows()
+            ],
+        }
+
+    def __repr__(self) -> str:
+        return f"ReliabilityLedger(bins={self.bins}, n={self.total}, ece={self.ece():.4f})"
+
+
+class CellQuality:
+    """Quality counters for one grid cell."""
+
+    __slots__ = ("points", "failed", "degraded", "conf_sum", "conf_n", "acc_sum", "acc_n")
+
+    def __init__(self) -> None:
+        self.points = 0
+        self.failed = 0
+        self.degraded = 0
+        self.conf_sum = 0.0
+        self.conf_n = 0
+        self.acc_sum = 0.0
+        self.acc_n = 0
+
+    @property
+    def quality(self) -> float:
+        """The cell's quality score in [0, 1] for the heatmap: mean
+        realized/proxy accuracy when recorded, else 1 − failure share."""
+        if self.acc_n:
+            return self.acc_sum / self.acc_n
+        if self.points:
+            return 1.0 - self.failed / self.points
+        return 1.0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "points": self.points,
+            "failed": self.failed,
+            "degraded": self.degraded,
+            "quality": self.quality,
+            "mean_confidence": self.conf_sum / self.conf_n if self.conf_n else None,
+        }
+
+
+class SpatialQualityMap:
+    """Per-cell quality attribution over imputed points."""
+
+    __slots__ = ("cells",)
+
+    def __init__(self) -> None:
+        self.cells: dict[tuple[int, int], CellQuality] = {}
+
+    def _cell(self, cell: tuple[int, int]) -> CellQuality:
+        existing = self.cells.get(cell)
+        if existing is None:
+            existing = self.cells[cell] = CellQuality()
+        return existing
+
+    def record_point(
+        self,
+        cell: tuple[int, int],
+        failed: bool,
+        degraded: bool,
+        confidence: Optional[float],
+        accuracy: Optional[float],
+    ) -> None:
+        cq = self._cell(cell)
+        cq.points += 1
+        if failed:
+            cq.failed += 1
+        if degraded:
+            cq.degraded += 1
+        if confidence is not None:
+            cq.conf_sum += confidence
+            cq.conf_n += 1
+        if accuracy is not None:
+            cq.acc_sum += accuracy
+            cq.acc_n += 1
+
+    def quality_scores(self) -> dict[tuple[int, int], float]:
+        """Cell → quality in [0, 1], the heatmap's input."""
+        return {cell: cq.quality for cell, cq in self.cells.items()}
+
+    def point_counts(self) -> dict[tuple[int, int], int]:
+        return {cell: cq.points for cell, cq in self.cells.items()}
+
+    def worst(self, n: int = 10) -> list[dict[str, Any]]:
+        """The ``n`` lowest-quality cells (deterministic tie-break)."""
+        ranked = sorted(
+            self.cells.items(), key=lambda item: (item[1].quality, item[0])
+        )
+        return [
+            {"cell": list(cell), **cq.to_dict()} for cell, cq in ranked[:n]
+        ]
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def __repr__(self) -> str:
+        return f"SpatialQualityMap(cells={len(self.cells)})"
+
+
+class QualityTracker:
+    """The online quality state one serving system feeds.
+
+    ``observe_segment`` is the hot-path entry (one call per imputed
+    segment, only when quality observability is enabled);
+    ``record_ground_truth`` is the eval harness's offline entry. Both
+    update the ledgers, the spatial map, the ``repro.quality.*`` gauges,
+    and the calibration rolling monitor.
+    """
+
+    def __init__(self, bins: int = DEFAULT_CONFIDENCE_BINS) -> None:
+        self.online = ReliabilityLedger(bins)
+        self.ground_truth = ReliabilityLedger(bins)
+        self.spatial = SpatialQualityMap()
+
+    # -- online (proxy) path ---------------------------------------------
+
+    def observe_segment(
+        self,
+        outcome,
+        cells: Sequence[tuple[int, int]],
+        snap_distance_m: Optional[float] = None,
+    ) -> None:
+        """Fold one :class:`~repro.core.result.SegmentOutcome` in.
+
+        ``cells`` are the grid cells of the segment's imputed points (in
+        order, so per-point confidences line up when present).
+        """
+        proxy = PROXY_RUNG_ACCURACY.get(outcome.rung or "", 0.0)
+        confidence = outcome.confidence
+        point_confs: Sequence[Optional[float]]
+        if outcome.point_confidences and len(outcome.point_confidences) == len(cells):
+            point_confs = outcome.point_confidences
+        else:
+            point_confs = [confidence] * len(cells)
+        for cell, conf in zip(cells, point_confs):
+            self.spatial.record_point(
+                cell, outcome.failed, outcome.degraded, conf, proxy
+            )
+        obs.count("repro.quality.records_total")
+        obs.gauge("repro.quality.cells_tracked").set(len(self.spatial))
+        if snap_distance_m is not None:
+            obs.observe("repro.quality.snap_distance_m", snap_distance_m)
+        if confidence is not None:
+            self.online.record(confidence, proxy)
+            self._update_calibration(confidence, proxy)
+
+    # -- ground-truth (eval) path ----------------------------------------
+
+    def record_ground_truth(
+        self,
+        confidence: Optional[float],
+        accuracy: float,
+        cells: Iterable[tuple[int, int]] = (),
+    ) -> None:
+        """Fold one scored segment in: realized ``accuracy`` in [0, 1]."""
+        for cell in cells:
+            cq = self.spatial._cell(cell)
+            cq.acc_sum += accuracy
+            cq.acc_n += 1
+        if confidence is None:
+            return
+        self.ground_truth.record(confidence, accuracy)
+        self._update_calibration(confidence, accuracy)
+
+    def _update_calibration(self, confidence: float, accuracy: float) -> None:
+        gap = abs(confidence - accuracy)
+        windowed = obs.monitors().calibration.observe(gap)
+        obs.gauge("repro.quality.calibration_gap").set(windowed)
+        ledger = self.ground_truth if self.ground_truth.total else self.online
+        obs.gauge("repro.quality.ece").set(ledger.ece())
+
+    # -- reporting --------------------------------------------------------
+
+    def report(self, registry: Optional[MetricsRegistry] = None) -> dict[str, Any]:
+        """The tracker's slice of the ``/quality`` payload."""
+        hub = obs.monitors(registry)
+        return {
+            "calibration": {
+                "online": self.online.to_dict(),
+                "ground_truth": self.ground_truth.to_dict(),
+            },
+            "spatial": {
+                "cells": len(self.spatial),
+                "worst": self.spatial.worst(10),
+            },
+            "proxies": {
+                "constraint_rejection_ratio": hub.rejection.value,
+                "calibration_gap_windowed": hub.calibration.value,
+            },
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"QualityTracker(online={self.online.total}, "
+            f"truth={self.ground_truth.total}, cells={len(self.spatial)})"
+        )
+
+
+@dataclass
+class QualityState:
+    """Everything quality-related hanging off one registry."""
+
+    tracker: Optional[QualityTracker] = None
+    drift: Optional[DriftDetector] = None
+
+
+_STATES: "weakref.WeakKeyDictionary[MetricsRegistry, QualityState]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def quality_state(registry: Optional[MetricsRegistry] = None) -> QualityState:
+    """The (lazily created) quality state of the default/given registry."""
+    # Explicit None check: an empty registry is falsy (it has __len__).
+    reg = get_registry() if registry is None else registry
+    state = _STATES.get(reg)
+    if state is None:
+        state = _STATES[reg] = QualityState()
+    return state
+
+
+def quality_report(registry: Optional[MetricsRegistry] = None) -> dict[str, Any]:
+    """The full ``/quality`` endpoint payload for one registry."""
+    state = quality_state(registry)
+    hub = obs.monitors(registry)
+    payload: dict[str, Any] = {
+        "enabled": state.tracker is not None or state.drift is not None,
+        "monitors": {
+            "drift": hub.drift.to_dict(),
+            "calibration": hub.calibration.to_dict(),
+        },
+        "drift": state.drift.to_dict() if state.drift is not None else None,
+    }
+    payload.update(
+        state.tracker.report(registry)
+        if state.tracker is not None
+        else {"calibration": None, "spatial": None, "proxies": None}
+    )
+    return payload

@@ -1,14 +1,18 @@
 """A background HTTP endpoint exposing live telemetry.
 
-:class:`ObservabilityServer` serves three read-only routes off a daemon
+:class:`ObservabilityServer` serves four read-only routes off a daemon
 thread, stdlib ``http.server`` only:
 
 * ``GET /metrics``  — the registry in Prometheus text exposition format
   (scrape it with ``curl`` or point a Prometheus job at it);
 * ``GET /healthz``  — JSON liveness: status (``ok``, or ``degraded``
-  when any rolling-monitor threshold is breached), uptime, scrape
-  count, and the rolling quality monitors (windowed failure rate,
-  degraded rate, latency, …);
+  when any rolling-monitor threshold is breached — including the drift
+  and calibration monitors, so a drifting deployment reads as
+  unhealthy), uptime, scrape count, and the rolling quality monitors
+  (windowed failure rate, degraded rate, latency, drift, …);
+* ``GET /quality``  — JSON model/data-quality state: drift scores vs the
+  training reference sketch, the calibration ledgers (ECE + per-bin
+  rows), and the worst spatial cells (see :mod:`repro.obs.quality`);
 * ``GET /spans``    — collected span trees as Chrome trace-event JSON
   (save the response and load it in Perfetto), or ``?format=jsonl`` for
   the line-oriented form.
@@ -39,6 +43,7 @@ from repro.obs.export import (
 )
 from repro.obs.logging import get_logger
 from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.quality import quality_report
 from repro.obs.tracing import finished_spans
 
 __all__ = ["ObservabilityServer"]
@@ -98,6 +103,9 @@ class _Handler(BaseHTTPRequestHandler):
                 default=float,
             )
             self._respond(200, body, "application/json; charset=utf-8")
+        elif route == "/quality":
+            body = json.dumps(quality_report(self.server.registry), default=float)
+            self._respond(200, body, "application/json; charset=utf-8")
         elif route == "/spans":
             query = parse_qs(parsed.query)
             fmt = (query.get("format") or ["chrome"])[0]
@@ -109,7 +117,11 @@ class _Handler(BaseHTTPRequestHandler):
                     200, chrome_trace_json(roots), "application/json; charset=utf-8"
                 )
         else:
-            self._respond(404, "not found: try /metrics, /healthz, /spans\n", "text/plain")
+            self._respond(
+                404,
+                "not found: try /metrics, /healthz, /quality, /spans\n",
+                "text/plain",
+            )
 
 
 class _ObsHTTPServer(ThreadingHTTPServer):

@@ -4,7 +4,9 @@ Pure-stdlib SVG string building (no plotting dependency), good enough to
 eyeball what the system did: roads in grey, the ground truth in green,
 the sparse input as dots, and the imputed path in blue with failed
 (straight-line) segments dashed red — plus a flame view of collapsed
-profiler stacks (:mod:`repro.viz.flame`, fed by ``kamel profile``).
+profiler stacks (:mod:`repro.viz.flame`, fed by ``kamel profile``) and
+a per-cell quality choropleth (:mod:`repro.viz.heatmap`, fed by
+``kamel quality --heatmap``).
 """
 
 from repro.viz.flame import (
@@ -13,6 +15,7 @@ from repro.viz.flame import (
     render_flame_svg,
     write_flame_svg,
 )
+from repro.viz.heatmap import render_heatmap_svg, write_heatmap_svg
 from repro.viz.svg import SvgCanvas, render_imputation, render_network
 
 __all__ = [
@@ -20,7 +23,9 @@ __all__ = [
     "SvgCanvas",
     "parse_collapsed",
     "render_flame_svg",
+    "render_heatmap_svg",
     "render_imputation",
     "render_network",
     "write_flame_svg",
+    "write_heatmap_svg",
 ]

@@ -1,0 +1,166 @@
+"""A dependency-free SVG choropleth of per-cell quality scores.
+
+Input is a mapping of grid cells to scores in ``[0, 1]`` — what
+:meth:`repro.obs.quality.SpatialQualityMap.quality_scores` produces —
+plus the grid that gives each cell its shape. Output is a deterministic
+choropleth: same scores in, byte-identical SVG out, because cells are
+drawn in sorted order, colors come from a fixed three-stop ramp with
+integer-rounded interpolation (never ``hash()`` or a colormap library),
+and every coordinate is formatted to two decimals — the same discipline
+as :mod:`repro.viz.flame`.
+
+Hex cells draw their true hexagon outline (``grid.vertices``); square
+grids, which have no ``vertices`` method, fall back to axis-aligned
+squares derived from the centroid and edge length. The y axis is flipped
+so north stays up (SVG y grows downward).
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Mapping, Optional, Union
+from xml.sax.saxutils import escape
+
+__all__ = ["render_heatmap_svg", "write_heatmap_svg"]
+
+
+Cell = tuple[int, int]
+
+# Low -> mid -> high quality. Drawn from the flame palette so the two
+# views read as one family: red (bad), amber (middling), green (good).
+_RAMP = ((0xE6, 0x69, 0x4A), (0xED, 0xAA, 0x3C), (0x58, 0xB0, 0x7E))
+
+
+def _ramp_color(value: float) -> str:
+    """The ramp color for a score in [0, 1] (clamped, integer-rounded)."""
+    v = min(1.0, max(0.0, value))
+    if v <= 0.5:
+        lo, hi = _RAMP[0], _RAMP[1]
+        t = v / 0.5
+    else:
+        lo, hi = _RAMP[1], _RAMP[2]
+        t = (v - 0.5) / 0.5
+    r, g, b = (round(a + (c - a) * t) for a, c in zip(lo, hi))
+    return f"#{r:02x}{g:02x}{b:02x}"
+
+
+def _cell_corners(grid, cell: Cell) -> list[tuple[float, float]]:
+    """The cell's outline in map coordinates (hex vertices or square)."""
+    vertices = getattr(grid, "vertices", None)
+    if vertices is not None:
+        return [(p.x, p.y) for p in vertices(cell)]
+    c = grid.centroid(cell)
+    h = grid.edge_length_m / 2.0
+    return [(c.x - h, c.y - h), (c.x + h, c.y - h), (c.x + h, c.y + h), (c.x - h, c.y + h)]
+
+
+def render_heatmap_svg(
+    scores: Mapping[Cell, float],
+    grid,
+    counts: Optional[Mapping[Cell, int]] = None,
+    width_px: int = 640,
+    title: str = "KAMEL quality heatmap",
+) -> str:
+    """Render per-cell scores as a self-contained SVG choropleth.
+
+    ``scores`` maps cells to quality in [0, 1] (1 = good, drawn green);
+    ``counts`` (optional) adds per-cell sample counts to the tooltips.
+    Cells are drawn in sorted cell order, so equal inputs yield
+    byte-identical output.
+    """
+    if width_px <= 0:
+        raise ValueError("width_px must be positive")
+    header_px = 24
+    legend_px = 34
+    if not scores:
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{width_px}" '
+            f'height="{header_px + legend_px}">'
+            f'<text x="8" y="16" font-size="13">{escape(title)}: no cells</text>'
+            "</svg>\n"
+        )
+
+    outlines = {cell: _cell_corners(grid, cell) for cell in scores}
+    xs = [x for corners in outlines.values() for x, _ in corners]
+    ys = [y for corners in outlines.values() for _, y in corners]
+    min_x, max_x = min(xs), max(xs)
+    min_y, max_y = min(ys), max(ys)
+    span_x = max(max_x - min_x, 1e-9)
+    span_y = max(max_y - min_y, 1e-9)
+    pad = 4.0
+    scale = (width_px - 2 * pad) / span_x
+    map_px = span_y * scale + 2 * pad
+    height_px = int(header_px + map_px + legend_px)
+
+    def to_px(x: float, y: float) -> tuple[float, float]:
+        # Flip y: map north (large y) at the top of the chart.
+        return (
+            pad + (x - min_x) * scale,
+            header_px + pad + (max_y - y) * scale,
+        )
+
+    elements: list[str] = [
+        '<rect width="100%" height="100%" fill="#fbfbf9"/>',
+        f'<text x="8" y="16" font-size="13" font-family="monospace">'
+        f"{escape(title)} — {len(scores)} cells</text>",
+    ]
+    for cell in sorted(scores):
+        value = scores[cell]
+        points = " ".join(
+            f"{px:.2f},{py:.2f}" for px, py in (to_px(x, y) for x, y in outlines[cell])
+        )
+        tooltip = f"cell {cell}: quality {value:.3f}"
+        if counts is not None and cell in counts:
+            tooltip += f" ({counts[cell]} points)"
+        elements.append(
+            f"<g><title>{escape(tooltip)}</title>"
+            f'<polygon points="{points}" fill="{_ramp_color(value)}" '
+            f'stroke="#fbfbf9" stroke-width="0.5"/></g>'
+        )
+
+    # Legend: ten fixed swatches of the ramp, worst on the left.
+    legend_y = header_px + map_px + 8
+    swatch_w = 18
+    for k in range(10):
+        x = 8 + k * swatch_w
+        elements.append(
+            f'<rect x="{x:.2f}" y="{legend_y:.2f}" width="{swatch_w}" height="10" '
+            f'fill="{_ramp_color((k + 0.5) / 10.0)}"/>'
+        )
+    label_y = legend_y + 20
+    elements.append(
+        f'<text x="8" y="{label_y:.2f}" font-size="11" font-family="monospace" '
+        f'fill="#1a1a1a">0 poor</text>'
+    )
+    elements.append(
+        f'<text x="{8 + 10 * swatch_w - 42:.2f}" y="{label_y:.2f}" font-size="11" '
+        f'font-family="monospace" fill="#1a1a1a">1 good</text>'
+    )
+
+    body = "\n".join(elements)
+    return (
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width_px}" '
+        f'height="{height_px}" viewBox="0 0 {width_px} {height_px}">\n'
+        f"{body}\n</svg>\n"
+    )
+
+
+def write_heatmap_svg(
+    path: Union[str, pathlib.Path],
+    scores: Mapping[Cell, float],
+    grid,
+    counts: Optional[Mapping[Cell, int]] = None,
+    width_px: int = 640,
+    title: Optional[str] = None,
+) -> pathlib.Path:
+    """Render and write the choropleth; returns the path."""
+    path = pathlib.Path(path)
+    svg = render_heatmap_svg(
+        scores,
+        grid,
+        counts=counts,
+        width_px=width_px,
+        **({"title": title} if title else {}),
+    )
+    path.write_text(svg)
+    return path

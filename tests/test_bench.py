@@ -57,26 +57,35 @@ class TestDirections:
         assert metric_direction("repro.kamel.impute_seconds.count") == "neutral"
         assert metric_direction("repro.tokenization.segments_total") == "neutral"
 
+    def test_quality_scores_are_lower_is_better(self):
+        assert metric_direction("repro.drift.unseen_cell_mass") == "lower"
+        assert metric_direction("repro.drift.cell_psi") == "lower"
+        assert metric_direction("repro.quality.ece") == "lower"
+        assert metric_direction("repro.quality.calibration_gap") == "lower"
+        assert metric_direction("repro.quality.snap_distance_m.mean") == "lower"
+        # Drift *traffic* counters are workload-sized, not quality scores.
+        assert metric_direction("repro.drift.observations_total") == "neutral"
+
 
 class TestComparatorEdgeCases:
-    def test_missing_metric_in_baseline_is_new(self):
+    def test_metric_only_in_current_is_added(self):
         deltas = compare_snapshots(
             _v2({"m": {"repro.eval.recall": _stat(0.8)}}),
             _v2({"m": {"repro.eval.recall": _stat(0.8),
                        "repro.eval.precision": _stat(0.7)}}),
         )
         by_name = {d.metric: d for d in deltas}
-        assert by_name["repro.eval.precision"].classification == "new"
+        assert by_name["repro.eval.precision"].classification == "added"
         assert by_name["repro.eval.precision"].baseline is None
         assert by_name["repro.eval.recall"].classification == "unchanged"
 
-    def test_missing_metric_in_current_is_missing(self):
+    def test_metric_only_in_baseline_is_removed(self):
         deltas = compare_snapshots(
             _v2({"m": {"repro.eval.recall": _stat(0.8)}}),
             _v2({"m": {}}),
         )
-        assert deltas[0].classification == "missing"
-        # New/missing never fail the gate on their own.
+        assert deltas[0].classification == "removed"
+        # Added/removed never fail the gate on their own.
         assert not has_regressions(deltas)
 
     def test_zero_stdev_counter_drift_is_flagged(self):

@@ -1,0 +1,133 @@
+"""CLI error paths: bad input must exit non-zero with a clean message.
+
+Every scenario here once produced (or could produce) a traceback; the
+contract under test is a one-line ``error:`` diagnostic on stderr, a
+non-zero exit code, and no stack trace leaking to the terminal.
+"""
+
+import json
+
+import pytest
+
+from repro.bench.snapshot import make_snapshot
+from repro.cli import main
+
+
+def _no_traceback(capsys):
+    captured = capsys.readouterr()
+    assert "Traceback" not in captured.out
+    assert "Traceback" not in captured.err
+    return captured
+
+
+class TestUnknownSubcommand:
+    def test_exits_with_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["frobnicate"])
+        assert exc.value.code == 2
+        captured = _no_traceback(capsys)
+        assert "invalid choice" in captured.err
+
+
+class TestMetricsOutErrors:
+    def test_unwritable_snapshot_path_is_a_clean_failure(self, tmp_path, capsys):
+        target = tmp_path / "no-such-dir" / "metrics.json"
+        assert main(["--metrics-out", str(target), "list-figures"]) == 2
+        captured = _no_traceback(capsys)
+        assert "error: cannot write metrics snapshot" in captured.err
+
+    def test_writable_snapshot_path_still_succeeds(self, tmp_path, capsys):
+        target = tmp_path / "metrics.json"
+        assert main(["--metrics-out", str(target), "list-figures"]) == 0
+        assert json.loads(target.read_text())  # a real registry snapshot
+        _no_traceback(capsys)
+
+
+class TestStatsSnapshotErrors:
+    def test_missing_file(self, tmp_path, capsys):
+        missing = tmp_path / "nope.json"
+        assert main(["stats", str(missing)]) == 2
+        captured = _no_traceback(capsys)
+        assert "error: cannot read snapshot" in captured.err
+
+    def test_malformed_json(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main(["stats", str(bad)]) == 2
+        captured = _no_traceback(capsys)
+        assert "is not a valid snapshot" in captured.err
+
+    def test_malformed_json_in_two_file_compare(self, tmp_path, capsys):
+        good = tmp_path / "good.json"
+        good.write_text(json.dumps(make_snapshot({"mod": [{"m.a": 1.0}]})))
+        bad = tmp_path / "bad.json"
+        bad.write_text("[1, 2")
+        assert main(["stats", str(good), str(bad)]) == 2
+        captured = _no_traceback(capsys)
+        assert "is not a valid snapshot" in captured.err
+
+    def test_valid_json_but_not_a_snapshot(self, tmp_path, capsys):
+        odd = tmp_path / "odd.json"
+        odd.write_text(json.dumps({"hello": "world"}))
+        assert main(["stats", str(odd), str(odd)]) == 2
+        captured = _no_traceback(capsys)
+        assert "unrecognized snapshot" in captured.err
+
+
+class TestBenchCompareErrors:
+    """The baseline is validated before the suite runs, so these are fast."""
+
+    def test_malformed_baseline(self, tmp_path, capsys):
+        bad = tmp_path / "baseline.json"
+        bad.write_text("{{{{")
+        assert main(["bench", "counting", "--repeats", "1", "--compare", str(bad)]) == 2
+        captured = _no_traceback(capsys)
+        assert "is not a valid snapshot" in captured.err
+
+    def test_missing_baseline(self, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "bench",
+                    "counting",
+                    "--repeats",
+                    "1",
+                    "--compare",
+                    str(tmp_path / "gone.json"),
+                ]
+            )
+            == 2
+        )
+        captured = _no_traceback(capsys)
+        assert "error: cannot read snapshot" in captured.err
+
+    def test_unrecognized_baseline_document(self, tmp_path, capsys):
+        odd = tmp_path / "odd.json"
+        odd.write_text(json.dumps({"schema": "something/else"}))
+        assert main(["bench", "counting", "--repeats", "1", "--compare", str(odd)]) == 2
+        captured = _no_traceback(capsys)
+        assert "unrecognized snapshot" in captured.err
+
+
+class TestStatsOneSidedMetrics:
+    def test_added_and_removed_metrics_are_labelled(self, tmp_path, capsys):
+        """Satellite: metrics on one side only show up as added/removed."""
+        baseline = tmp_path / "a.json"
+        current = tmp_path / "b.json"
+        baseline.write_text(
+            json.dumps(make_snapshot({"mod": [{"kept": 1.0, "retired": 2.0}]}))
+        )
+        current.write_text(
+            json.dumps(make_snapshot({"mod": [{"kept": 1.0, "fresh": 3.0}]}))
+        )
+        assert main(["stats", str(baseline), str(current)]) == 0
+        captured = _no_traceback(capsys)
+        lines = {
+            line.split()[0].split(":", 1)[1]: line
+            for line in captured.out.splitlines()
+            if line.startswith("mod:")
+        }
+        assert "removed" in lines["retired"]
+        assert "added" in lines["fresh"]
+        # Removed (a vanished signal) sorts above added in severity.
+        assert captured.out.index("retired") < captured.out.index("fresh")

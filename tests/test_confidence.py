@@ -44,6 +44,55 @@ class TestConfidenceThroughSystem:
             assert outcome.confidence is None
 
 
+class TestPerPointConfidence:
+    @pytest.fixture(scope="class")
+    def results(self, trained_kamel, small_split):
+        _, test = small_split
+        return [trained_kamel.impute(t.sparsify(500.0)) for t in test[:6]]
+
+    def test_scored_segments_carry_one_confidence_per_imputed_point(self, results):
+        scored = [
+            s
+            for r in results
+            for s in r.segments
+            if not s.failed and s.point_confidences
+        ]
+        assert scored, "expected at least one per-point-scored segment"
+        for outcome in scored:
+            assert len(outcome.point_confidences) == outcome.imputed_points
+            for value in outcome.point_confidences:
+                assert 0.0 < value <= 1.0
+
+    def test_failed_segments_have_no_per_point_scores(self, results):
+        for r in results:
+            for outcome in r.segments:
+                if outcome.failed:
+                    assert outcome.point_confidences == ()
+
+    def test_result_property_keys_by_start_index(self, results):
+        for r in results:
+            mapping = r.point_confidences
+            by_index = {s.start_index: s for s in r.segments}
+            for start_index, confidences in mapping.items():
+                assert isinstance(confidences, tuple)
+                assert confidences == by_index[start_index].point_confidences
+            # Segments without per-point scores are omitted, not empty.
+            assert all(confidences for confidences in mapping.values())
+
+    def test_per_point_scores_imply_a_segment_score(self, results):
+        """Per-point scores only exist where the search scored the segment,
+        so they always arrive alongside a segment-level confidence."""
+        for r in results:
+            for outcome in r.segments:
+                if outcome.point_confidences:
+                    assert outcome.confidence is not None
+
+    def test_baselines_carry_no_per_point_scores(self, small_split):
+        _, test = small_split
+        result = LinearImputer(100.0).impute(test[0].sparsify(500.0))
+        assert result.point_confidences == {}
+
+
 class TestConfidenceSemantics:
     def test_easy_gap_scores_higher_than_hard_gap(self, trained_kamel, small_split):
         """Aggregate sanity: short gaps (few insertions) should on average

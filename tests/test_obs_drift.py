@@ -1,0 +1,250 @@
+"""Tests for repro.obs.drift: sketches, divergences, and the drift demo.
+
+The demo at the bottom is the acceptance scenario for quality
+observability: fit on city A, serve density-shifted traffic, and watch
+the drift gauge cross its threshold and breach ``/healthz`` — while a
+same-city control run stays green.
+"""
+
+import json
+import math
+import urllib.request
+
+import pytest
+
+from repro import HexGrid, Kamel, KamelConfig
+from repro.geo import Point, Trajectory
+from repro.obs.drift import (
+    DEFAULT_DRIFT_LIMIT,
+    DistributionSketch,
+    DriftDetector,
+    population_stability_index,
+    smoothed_js_divergence,
+)
+from repro.obs.metrics import MetricsRegistry, set_registry
+from repro.obs.server import ObservabilityServer
+from repro.roadnet import (
+    CityConfig,
+    SimulatorConfig,
+    TrajectorySimulator,
+    generate_city,
+)
+
+
+@pytest.fixture()
+def fresh_registry():
+    """A private registry (own monitors, own quality state) per test."""
+    registry = MetricsRegistry()
+    previous = set_registry(registry)
+    yield registry
+    set_registry(previous)
+
+
+def _traj(coords, traj_id="t", dt=10.0):
+    points = [Point(x, y, k * dt) for k, (x, y) in enumerate(coords)]
+    return Trajectory(traj_id, points)
+
+
+class TestDivergences:
+    def test_identical_distributions_score_near_zero(self):
+        counts = [10.0, 20.0, 5.0, 0.0]
+        assert population_stability_index(counts, counts) == pytest.approx(0.0, abs=1e-9)
+        assert smoothed_js_divergence(counts, counts) == pytest.approx(0.0, abs=1e-9)
+
+    def test_disjoint_supports_score_large_but_finite(self):
+        a = [100.0, 0.0, 0.0, 0.0]
+        b = [0.0, 0.0, 0.0, 100.0]
+        psi = population_stability_index(a, b)
+        js = smoothed_js_divergence(a, b)
+        assert math.isfinite(psi) and psi > 1.0
+        # JS is bounded by ln 2, and disjoint supports approach the bound.
+        assert 0.5 < js <= math.log(2.0) + 1e-9
+
+    def test_psi_reads_moderate_shift_between_stable_and_disjoint(self):
+        stable = population_stability_index([50, 30, 20], [49, 31, 20])
+        shifted = population_stability_index([50, 30, 20], [20, 30, 50])
+        assert stable < 0.1 < shifted
+
+    def test_misaligned_vectors_raise(self):
+        with pytest.raises(ValueError, match="aligned"):
+            population_stability_index([1.0, 2.0], [1.0])
+        with pytest.raises(ValueError, match="aligned"):
+            smoothed_js_divergence([1.0], [1.0, 2.0])
+
+
+class TestDistributionSketch:
+    def test_accumulates_cells_and_features(self):
+        grid = HexGrid(50.0)
+        sketch = DistributionSketch()
+        sketch.observe_trajectory(_traj([(0.0, 0.0), (120.0, 0.0), (240.0, 0.0)]), grid)
+        assert sketch.trajectories == 1
+        assert sketch.total_points == 3
+        assert sketch.num_cells >= 2  # 120 m apart at 50 m edges: distinct cells
+        # Two 120 m / 10 s segments: length, duration, and speed all land.
+        assert sum(sketch.feature_counts["segment_length_m"]) == 2
+        assert sum(sketch.feature_counts["gap_duration_s"]) == 2
+        assert sum(sketch.feature_counts["speed_mps"]) == 2
+
+    def test_roundtrips_through_json(self):
+        grid = HexGrid(50.0)
+        sketch = DistributionSketch.from_trajectories(
+            [_traj([(0.0, 0.0), (130.0, 40.0)]), _traj([(-200.0, 90.0), (-60.0, 90.0)])],
+            grid,
+        )
+        payload = json.loads(json.dumps(sketch.to_dict()))
+        restored = DistributionSketch.from_dict(payload)
+        assert restored.cell_counts == sketch.cell_counts
+        assert restored.feature_counts == sketch.feature_counts
+        assert restored.trajectories == sketch.trajectories
+
+    def test_from_token_store_matches_trained_cells(self, trained_kamel):
+        rebuilt = DistributionSketch.from_token_store(
+            trained_kamel.store, trained_kamel.tokenizer
+        )
+        reference = trained_kamel.reference_sketch
+        assert reference is not None
+        # The token store quantizes features but keeps cells exact, so the
+        # rebuilt support must match the training sketch's support.
+        assert set(rebuilt.cell_counts) == set(reference.cell_counts)
+        assert rebuilt.trajectories == reference.trajectories
+
+
+class TestDriftDetector:
+    def _reference(self, grid):
+        return DistributionSketch.from_trajectories(
+            [_traj([(0.0, 0.0), (80.0, 0.0), (160.0, 0.0), (240.0, 0.0)])], grid
+        )
+
+    def test_empty_reference_is_rejected(self):
+        with pytest.raises(ValueError, match="reference sketch is empty"):
+            DriftDetector(DistributionSketch(), HexGrid(50.0))
+
+    def test_window_must_hold_something(self):
+        grid = HexGrid(50.0)
+        with pytest.raises(ValueError, match="window"):
+            DriftDetector(self._reference(grid), grid, window=0)
+
+    def test_window_evicts_oldest(self, fresh_registry):
+        grid = HexGrid(50.0)
+        detector = DriftDetector(self._reference(grid), grid, window=2, min_observations=1)
+        for k in range(4):
+            detector.observe(_traj([(k * 10.0, 0.0), (k * 10.0 + 60.0, 0.0)]))
+        assert detector.window_trajectories == 2
+        assert fresh_registry.get("repro.drift.observations_total").value == 4
+
+    def test_unseen_cell_mass_separates_in_from_out_of_support(self, fresh_registry):
+        grid = HexGrid(50.0)
+        inside = DriftDetector(self._reference(grid), grid, min_observations=1)
+        scores = inside.observe(_traj([(0.0, 0.0), (80.0, 0.0)]))
+        assert scores["unseen_cell_mass"] == pytest.approx(0.0)
+
+        outside = DriftDetector(self._reference(grid), grid, min_observations=1)
+        scores = outside.observe(_traj([(5000.0, 5000.0), (5080.0, 5000.0)]))
+        assert scores["unseen_cell_mass"] == pytest.approx(1.0)
+        assert scores["cell_psi"] > 1.0
+
+    def test_headline_feed_waits_for_min_observations(self, fresh_registry):
+        grid = HexGrid(50.0)
+        detector = DriftDetector(self._reference(grid), grid, min_observations=3)
+        detector.observe(_traj([(5000.0, 5000.0), (5080.0, 5000.0)]))
+        assert not detector.ready
+        # The score itself reads 1.0 but the monitor is fed 0.0 until the
+        # window holds enough traffic to mean anything.
+        assert detector.scores["unseen_cell_mass"] == pytest.approx(1.0)
+        assert fresh_registry.monitors.drift.value == pytest.approx(0.0)
+        detector.observe(_traj([(5000.0, 5100.0), (5080.0, 5100.0)]))
+        detector.observe(_traj([(5000.0, 5200.0), (5080.0, 5200.0)]))
+        assert detector.ready
+        assert fresh_registry.monitors.drift.window.max == pytest.approx(1.0)
+
+    def test_to_dict_is_json_ready(self, fresh_registry):
+        grid = HexGrid(50.0)
+        detector = DriftDetector(self._reference(grid), grid, min_observations=1)
+        detector.observe(_traj([(0.0, 0.0), (90.0, 10.0)]))
+        doc = json.loads(json.dumps(detector.to_dict()))
+        assert doc["window_trajectories"] == 1
+        assert doc["reference"]["points"] == 4
+        assert "unseen_cell_mass" in doc["scores"]
+
+
+class TestPersistence:
+    def test_reference_sketch_travels_with_the_model_store(self, trained_kamel, tmp_path):
+        target = tmp_path / "model"
+        trained_kamel.save(target)
+        assert (target / "drift.json").exists()
+        loaded = Kamel.load(target)
+        assert loaded.reference_sketch is not None
+        assert loaded.reference_sketch.to_dict() == trained_kamel.reference_sketch.to_dict()
+
+    def test_loaded_system_can_enable_quality_observability(
+        self, trained_kamel, tmp_path, fresh_registry
+    ):
+        target = tmp_path / "model"
+        trained_kamel.save(target)
+        loaded = Kamel.load(target)
+        loaded.enable_quality_observability(min_observations=1)
+        assert loaded.drift_detector is not None
+        assert loaded.drift_detector.reference.total_points > 0
+
+
+# -- the acceptance demo ----------------------------------------------------
+#
+# 25 m cells make the two 1.5 km synthetic cities spatially distinct (the
+# default 75 m hexagons are coarse enough that both road layouts land on
+# largely the same cells); 200 model calls keep the fit fast.
+
+
+@pytest.fixture(scope="module")
+def drift_system(small_city):
+    train = TrajectorySimulator(
+        small_city, SimulatorConfig(sample_interval_s=2.0, seed=5)
+    ).simulate(60)
+    return Kamel(KamelConfig(cell_edge_m=25.0, max_model_calls=200)).fit(train)
+
+
+def _healthz(registry):
+    with ObservabilityServer(port=0, registry=registry) as server:
+        with urllib.request.urlopen(server.url + "/healthz", timeout=5) as response:
+            return json.loads(response.read().decode())
+
+
+class TestDriftDemo:
+    def test_density_shifted_traffic_breaches_health(self, drift_system, fresh_registry):
+        drift_system.enable_quality_observability(min_observations=8)
+        shifted_city = generate_city(
+            CityConfig(
+                width_m=1500.0, height_m=1500.0, block_m=180.0, n_roundabouts=2, seed=11
+            )
+        )
+        feed = TrajectorySimulator(
+            shifted_city, SimulatorConfig(sample_interval_s=2.0, seed=99)
+        ).simulate(16)
+        for trajectory in feed:
+            drift_system.impute(trajectory.sparsify(800.0))
+
+        detector = drift_system.drift_detector
+        assert detector.ready
+        assert detector.scores["unseen_cell_mass"] > DEFAULT_DRIFT_LIMIT
+        assert fresh_registry.monitors.drift.breached
+
+        doc = _healthz(fresh_registry)
+        assert doc["status"] == "degraded"
+        assert "drift" in doc["breached_monitors"]
+
+    def test_same_city_control_stays_green(self, drift_system, small_city, fresh_registry):
+        drift_system.enable_quality_observability(min_observations=8)
+        feed = TrajectorySimulator(
+            small_city, SimulatorConfig(sample_interval_s=2.0, seed=99)
+        ).simulate(12)
+        for trajectory in feed:
+            drift_system.impute(trajectory.sparsify(800.0))
+
+        detector = drift_system.drift_detector
+        assert detector.ready
+        # Only GPS noise pushes control points off the trained cells.
+        assert detector.scores["unseen_cell_mass"] < 0.05
+        assert not fresh_registry.monitors.drift.breached
+
+        doc = _healthz(fresh_registry)
+        assert doc["status"] == "ok"
+        assert "drift" not in doc["breached_monitors"]

@@ -1,0 +1,89 @@
+"""Tests for repro.viz.heatmap: the deterministic quality choropleth."""
+
+import pytest
+
+from repro.grid import HexGrid, SquareGrid
+from repro.viz import render_heatmap_svg, write_heatmap_svg
+from repro.viz.heatmap import _ramp_color
+
+
+SCORES = {(0, 0): 0.2, (1, 0): 0.9, (0, 1): 0.5, (-1, 2): 1.0}
+
+
+class TestColorRamp:
+    def test_endpoints_and_midpoint_hit_the_fixed_stops(self):
+        assert _ramp_color(0.0) == "#e6694a"
+        assert _ramp_color(0.5) == "#edaa3c"
+        assert _ramp_color(1.0) == "#58b07e"
+
+    def test_out_of_range_values_clamp(self):
+        assert _ramp_color(-3.0) == _ramp_color(0.0)
+        assert _ramp_color(7.0) == _ramp_color(1.0)
+
+    def test_interpolation_is_monotone_in_green(self):
+        greens = [int(_ramp_color(v / 10.0)[3:5], 16) for v in range(6)]
+        assert greens == sorted(greens)
+
+
+class TestRenderHeatmapSvg:
+    def test_output_is_byte_stable(self):
+        grid = HexGrid(75.0)
+        # Same mapping, adversarial insertion order: identical bytes out.
+        reordered = dict(sorted(SCORES.items(), reverse=True))
+        assert render_heatmap_svg(SCORES, grid) == render_heatmap_svg(reordered, grid)
+
+    def test_hex_cells_draw_hexagons(self):
+        svg = render_heatmap_svg(SCORES, HexGrid(75.0))
+        polygons = [line for line in svg.splitlines() if "<polygon" in line]
+        assert len(polygons) == len(SCORES)
+        first_points = polygons[0].split('points="')[1].split('"')[0]
+        assert len(first_points.split()) == 6
+
+    def test_square_cells_draw_squares(self):
+        svg = render_heatmap_svg(SCORES, SquareGrid(75.0))
+        polygons = [line for line in svg.splitlines() if "<polygon" in line]
+        assert len(polygons) == len(SCORES)
+        first_points = polygons[0].split('points="')[1].split('"')[0]
+        assert len(first_points.split()) == 4
+
+    def test_tooltips_carry_scores_and_counts(self):
+        svg = render_heatmap_svg(
+            SCORES, HexGrid(75.0), counts={(0, 0): 12, (1, 0): 3}
+        )
+        assert "cell (0, 0): quality 0.200 (12 points)" in svg
+        assert "cell (0, 1): quality 0.500" in svg  # no count recorded
+
+    def test_title_is_escaped(self):
+        svg = render_heatmap_svg(SCORES, HexGrid(75.0), title="a <b> & c")
+        assert "a &lt;b&gt; &amp; c" in svg
+        assert "<b>" not in svg
+
+    def test_empty_scores_render_a_placeholder(self):
+        svg = render_heatmap_svg({}, HexGrid(75.0))
+        assert "no cells" in svg
+        assert "<polygon" not in svg
+
+    def test_width_must_be_positive(self):
+        with pytest.raises(ValueError, match="width_px"):
+            render_heatmap_svg(SCORES, HexGrid(75.0), width_px=0)
+
+    def test_legend_spans_the_ramp(self):
+        svg = render_heatmap_svg(SCORES, HexGrid(75.0))
+        assert "0 poor" in svg and "1 good" in svg
+        assert svg.count("<rect") >= 11  # background plus ten swatches
+
+
+class TestWriteHeatmapSvg:
+    def test_writes_identical_bytes_across_runs(self, tmp_path):
+        grid = HexGrid(75.0)
+        first = write_heatmap_svg(tmp_path / "a.svg", SCORES, grid)
+        second = write_heatmap_svg(tmp_path / "b.svg", SCORES, grid)
+        assert first.read_bytes() == second.read_bytes()
+        assert first.read_text().startswith("<svg")
+        assert first.read_text().endswith("</svg>\n")
+
+    def test_custom_title_reaches_the_file(self, tmp_path):
+        path = write_heatmap_svg(
+            tmp_path / "t.svg", SCORES, HexGrid(75.0), title="porto quality"
+        )
+        assert "porto quality" in path.read_text()
