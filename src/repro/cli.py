@@ -33,6 +33,13 @@ Fault injection (see docs/resilience.md)::
     kamel chaos --failure-rate 0.3 --latency-rate 0.1 --deadline-ms 250
     kamel chaos --seed 7 --trajectories 40 --json
 
+Sharded serving (see docs/serving.md)::
+
+    kamel serve --demo --workers 4 --metrics-port 9101
+    kamel serve --model-dir saved/ --input sparse.jsonl --output dense.jsonl
+    kamel loadtest --workers 4 --trajectories 200 --output BENCH_serve.json
+    kamel loadtest --workers 2 --kill-worker-after 5   # exercises recovery
+
 Quality observability (see docs/observability.md)::
 
     kamel quality --heatmap quality.svg --quality-out quality.json
@@ -733,6 +740,228 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_feed(args: argparse.Namespace, model_dir: str) -> list:
+    """The trajectories ``kamel serve`` will drive through the pool.
+
+    ``--input`` JSONL wins (one journal-style payload per line:
+    ``{"traj_id": ..., "points": [[x, y, t], ...]}``); otherwise a demo
+    feed is simulated over the training city.
+    """
+    from repro.resilience.journal import trajectory_from_payload
+
+    if args.input:
+        feed = []
+        with open(args.input) as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    feed.append(trajectory_from_payload(json.loads(line)))
+        return feed
+    from repro.roadnet import SimulatorConfig, TrajectorySimulator
+    from repro.roadnet.datasets import make_porto_like
+
+    dataset = make_porto_like(
+        n_trajectories=args.train_trajectories, seed=args.seed
+    )
+    simulator = TrajectorySimulator(
+        dataset.network,
+        SimulatorConfig(sample_interval_s=15.0, seed=args.seed + 101),
+    )
+    dense = simulator.simulate(args.trajectories, id_prefix="demo")
+    return [t.sparsify(args.sparseness) for t in dense]
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run a batch through the sharded multi-process serving pool."""
+    import pathlib
+    import tempfile
+
+    from repro.serve import ServeConfig, ServingPool
+
+    if not args.demo and not args.model_dir:
+        print("kamel serve needs --model-dir or --demo", file=sys.stderr)
+        return 2
+    if not args.demo and not args.input:
+        print(
+            "kamel serve needs --input JSONL (or --demo for synthetic traffic)",
+            file=sys.stderr,
+        )
+        return 2
+    cleanup: Optional[tempfile.TemporaryDirectory] = None
+    try:
+        model_dir = args.model_dir
+        if model_dir is None:
+            from repro.core.config import KamelConfig
+            from repro.core.kamel import Kamel
+            from repro.io.serialize import save_kamel
+            from repro.roadnet.datasets import make_porto_like
+
+            print("training the demo serving system ...", file=sys.stderr)
+            cleanup = tempfile.TemporaryDirectory(prefix="kamel-serve-")
+            dataset = make_porto_like(
+                n_trajectories=args.train_trajectories, seed=args.seed
+            )
+            train, _ = dataset.split(seed=1)
+            system = Kamel(KamelConfig(max_model_calls=600)).fit(train)
+            model_dir = str(pathlib.Path(cleanup.name) / "model")
+            save_kamel(system, model_dir)
+            del system  # workers load their own lazy copies
+
+        feed = _serve_feed(args, model_dir)
+        if not feed:
+            print("error: nothing to serve (empty input)", file=sys.stderr)
+            return 2
+        config = ServeConfig(
+            workers=args.workers,
+            strategy=args.strategy,
+            lru_capacity=args.lru_capacity,
+            journal_dir=args.journal_dir,
+            metrics_port=args.metrics_port,
+        )
+        pool = ServingPool(model_dir, config)
+        print(
+            f"serving {len(feed)} trajectories across {args.workers} "
+            f"worker(s), strategy={args.strategy} ...",
+            file=sys.stderr,
+        )
+        with pool:
+            if pool.metrics_server is not None:
+                print(
+                    f"pool telemetry on {pool.metrics_server.url} "
+                    f"(/metrics, /healthz)",
+                    file=sys.stderr,
+                )
+            results = pool.process_all(feed, timeout=args.timeout)
+        if args.output:
+            with open(args.output, "w") as handle:
+                for traj_id in sorted(results):
+                    message = results[traj_id]
+                    handle.write(
+                        json.dumps(
+                            {
+                                "traj_id": traj_id,
+                                "shard": message["shard"],
+                                "trips": message["trips"],
+                                "segments": message["segments"],
+                                "failed": message["failed"],
+                                "degraded": message["degraded"],
+                                "error": message["error"],
+                            },
+                            default=float,
+                        )
+                        + "\n"
+                    )
+            print(f"wrote {len(results)} results to {args.output}", file=sys.stderr)
+        stats = pool.stats
+        rows = [
+            ["trajectories submitted", str(stats.submitted)],
+            ["trajectories completed", str(stats.completed)],
+            ["trajectories lost", str(stats.lost)],
+            ["duplicate results", str(stats.duplicates)],
+            ["segments imputed", str(stats.segments)],
+            ["segments failed", str(stats.failed_segments)],
+            ["worker deaths", str(stats.worker_deaths)],
+            ["journal replayed", str(stats.journal_replayed)],
+            *[
+                [f"rung: {name}", str(count)]
+                for name, count in sorted(stats.rungs.items())
+            ],
+        ]
+        print(render_table(["property", "value"], rows))
+        if stats.lost:
+            print(f"ERROR: {stats.lost} trajectories lost", file=sys.stderr)
+            return 1
+        return 0
+    finally:
+        if cleanup is not None:
+            cleanup.cleanup()
+
+
+def _cmd_loadtest(args: argparse.Namespace) -> int:
+    """Drive synthetic load through the pool; verify, measure, snapshot."""
+    from repro.serve import LoadtestConfig, run_loadtest
+
+    config = LoadtestConfig(
+        workers=args.workers,
+        trajectories=args.trajectories,
+        rate_tps=args.rate,
+        sparseness_m=args.sparseness,
+        train_trajectories=args.train_trajectories,
+        seed=args.seed,
+        strategy=args.strategy,
+        lru_capacity=args.lru_capacity,
+        kill_worker_after=args.kill_worker_after,
+        verify=not args.no_verify,
+    )
+    print(
+        f"loadtest: train {args.train_trajectories} trips, then "
+        f"{args.trajectories} trajectories through {args.workers} worker(s) "
+        f"{'(verified against single-process)' if config.verify else ''}...",
+        file=sys.stderr,
+    )
+    report = run_loadtest(config, workdir=args.workdir)
+    if args.output:
+        from repro.bench import make_snapshot, write_snapshot
+
+        doc = make_snapshot({"serve": [report.bench_metrics()]}, seed=args.seed)
+        write_snapshot(args.output, doc)
+        print(f"wrote bench snapshot to {args.output}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, default=float))
+    else:
+        rows = [
+            ["workers", str(report.workers)],
+            ["strategy", report.strategy],
+            ["trajectories", str(report.trajectories)],
+            ["completed", str(report.completed)],
+            ["lost", str(report.lost)],
+            ["duplicates", str(report.duplicates)],
+            ["wall time (s)", f"{report.wall_s:.2f}"],
+            ["throughput (traj/s)", f"{report.throughput_tps:.2f}"],
+            ["latency p50 (ms)", f"{report.latency_p50_ms:.1f}"],
+            ["latency p99 (ms)", f"{report.latency_p99_ms:.1f}"],
+            ["segments imputed", str(report.segments)],
+            *[
+                [f"rung: {name}", str(count)]
+                for name, count in sorted(report.rungs.items())
+            ],
+            ["worker deaths", str(report.worker_deaths)],
+            ["journal replayed", str(report.journal_replayed)],
+        ]
+        if report.verified:
+            rows.append(["verified (bit-for-bit)", f"{report.mismatches} mismatches"])
+        if report.single_throughput_tps is not None:
+            rows.append(
+                ["single-process (traj/s)", f"{report.single_throughput_tps:.2f}"]
+            )
+        if report.speedup_vs_single is not None:
+            rows.append(["speedup vs single", f"{report.speedup_vs_single:.2f}x"])
+        print(render_table(["property", "value"], rows))
+    rc = 0
+    if not report.ok:
+        print(
+            f"LOADTEST FAILED: lost={report.lost} mismatches={report.mismatches} "
+            f"completed={report.completed}",
+            file=sys.stderr,
+        )
+        rc = 1
+    if args.min_throughput and report.throughput_tps < args.min_throughput:
+        print(
+            f"LOADTEST FAILED: throughput {report.throughput_tps:.2f} traj/s "
+            f"below --min-throughput {args.min_throughput}",
+            file=sys.stderr,
+        )
+        rc = 1
+    if args.max_p99_ms and report.latency_p99_ms > args.max_p99_ms:
+        print(
+            f"LOADTEST FAILED: p99 latency {report.latency_p99_ms:.1f} ms "
+            f"above --max-p99-ms {args.max_p99_ms}",
+            file=sys.stderr,
+        )
+        rc = 1
+    return rc
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="kamel",
@@ -820,6 +1049,126 @@ def build_parser() -> argparse.ArgumentParser:
         help="stop after S seconds (default: run until Ctrl-C)",
     )
     p_srv.set_defaults(func=_cmd_serve_metrics)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run a batch through the sharded multi-worker serving pool",
+    )
+    p_serve.add_argument(
+        "--model-dir", default=None, help="directory written by Kamel.save()"
+    )
+    p_serve.add_argument(
+        "--demo",
+        action="store_true",
+        help="train a synthetic system and feed instead of --model-dir/--input",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=2, help="worker processes (default 2)"
+    )
+    p_serve.add_argument(
+        "--strategy",
+        choices=("hash", "range", "round_robin"),
+        default="hash",
+        help="partition routing strategy (default: hash-by-root-cell)",
+    )
+    p_serve.add_argument(
+        "--lru-capacity", type=int, default=64,
+        help="resident models per worker (default 64)",
+    )
+    p_serve.add_argument(
+        "--input", default=None,
+        help="JSONL of trajectory payloads to impute "
+        '({"traj_id": ..., "points": [[x, y, t], ...]})',
+    )
+    p_serve.add_argument(
+        "--output", default=None, help="write result JSONL here"
+    )
+    p_serve.add_argument(
+        "--journal-dir", default=None,
+        help="per-shard write-ahead journals (enables crash recovery)",
+    )
+    p_serve.add_argument(
+        "--metrics-port", type=int, default=None, metavar="PORT",
+        help="serve aggregated /metrics + /healthz here (0 = ephemeral)",
+    )
+    p_serve.add_argument(
+        "--timeout", type=float, default=None, metavar="S",
+        help="overall drain deadline in seconds (default: pool config)",
+    )
+    p_serve.add_argument(
+        "--trajectories", type=int, default=40,
+        help="demo feed size (with --demo; default 40)",
+    )
+    p_serve.add_argument(
+        "--train-trajectories", type=int, default=120,
+        help="demo training set size (with --demo; default 120)",
+    )
+    p_serve.add_argument(
+        "--sparseness", type=float, default=800.0, help="demo imposed gap (m)"
+    )
+    p_serve.add_argument("--seed", type=int, default=7, help="demo RNG seed")
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_load = sub.add_parser(
+        "loadtest",
+        help="drive synthetic load through the pool; verify + measure + snapshot",
+    )
+    p_load.add_argument(
+        "--workers", type=int, default=4, help="worker processes (default 4)"
+    )
+    p_load.add_argument(
+        "--trajectories", type=int, default=200,
+        help="synthetic trajectories to serve (default 200)",
+    )
+    p_load.add_argument(
+        "--rate", type=float, default=0.0, metavar="TPS",
+        help="target submission rate, trajectories/sec (0 = flood; default 0)",
+    )
+    p_load.add_argument(
+        "--sparseness", type=float, default=800.0, help="imposed gap (m)"
+    )
+    p_load.add_argument(
+        "--train-trajectories", type=int, default=200,
+        help="synthetic training set size (default 200)",
+    )
+    p_load.add_argument("--seed", type=int, default=7, help="workload RNG seed")
+    p_load.add_argument(
+        "--strategy",
+        choices=("hash", "range", "round_robin"),
+        default="hash",
+        help="partition routing strategy (default: hash-by-root-cell)",
+    )
+    p_load.add_argument(
+        "--lru-capacity", type=int, default=64,
+        help="resident models per worker (default 64)",
+    )
+    p_load.add_argument(
+        "--kill-worker-after", type=int, default=None, metavar="N",
+        help="chaos: shard 0 dies on its Nth task (exercises journal replay)",
+    )
+    p_load.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip the single-process baseline + bit-for-bit comparison",
+    )
+    p_load.add_argument(
+        "--workdir", default=None,
+        help="keep the saved model + journals here (default: temp dir)",
+    )
+    p_load.add_argument(
+        "--output", "-o", default=None, metavar="PATH",
+        help="write a schema-v2 bench snapshot here (e.g. BENCH_serve.json)",
+    )
+    p_load.add_argument(
+        "--min-throughput", type=float, default=None, metavar="TPS",
+        help="fail (exit 1) below this sustained throughput",
+    )
+    p_load.add_argument(
+        "--max-p99-ms", type=float, default=None, metavar="MS",
+        help="fail (exit 1) above this p99 latency",
+    )
+    p_load.add_argument("--json", action="store_true", help="machine-readable report")
+    p_load.set_defaults(func=_cmd_loadtest)
 
     p_chaos = sub.add_parser(
         "chaos",

@@ -22,7 +22,7 @@ from __future__ import annotations
 import dataclasses
 import json
 import pathlib
-from typing import Union
+from typing import Callable, Optional, Union
 
 import numpy as np
 
@@ -84,6 +84,63 @@ def _load_model(path: pathlib.Path) -> MaskedModel:
         wrapper._num_training_tokens = header["num_training_tokens"]
         return wrapper
     raise KamelError(f"unrecognized model file {path.name!r}")
+
+
+ModelLoader = Callable[[str], MaskedModel]
+"""Maps a manifest file name (e.g. ``single_2_1_3.json``) to a model."""
+
+
+class ModelStore:
+    """Read-only, lazily-loading view over a saved system's ``models/`` dir.
+
+    Safe for concurrent use from multiple worker processes on the same
+    directory: construction parses ``manifest.json`` once into immutable
+    metadata, and every :meth:`load` call opens — and closes — its *own*
+    file handle via :func:`_load_model`.  No file handle or mutable parse
+    state is ever shared, so N processes (or threads) can materialize the
+    same model simultaneously without corruption.  This is the loading
+    path behind the sharded serving tier (:mod:`repro.serve`), where each
+    worker touches only the slice of the pyramid its partition queries.
+    """
+
+    def __init__(self, directory: Union[str, pathlib.Path]) -> None:
+        self.root = pathlib.Path(directory)
+        self.models_dir = self.root / "models"
+        manifest_path = self.root / "manifest.json"
+        if not manifest_path.exists():
+            raise KamelError(f"no manifest.json under {self.root}")
+        manifest = json.loads(manifest_path.read_text())
+        entries: dict[str, dict] = {}
+        for key_name, entry in manifest.get("single", {}).items():
+            entries[entry["file"]] = {"group": "single", "key": key_name, **entry}
+        for pair_name, entry in manifest.get("neighbor", {}).items():
+            entries[entry["file"]] = {"group": "neighbor", "key": pair_name, **entry}
+        if manifest.get("global"):
+            name = manifest["global"]["file"]
+            entries[name] = {"group": "global", "key": "global", "file": name}
+        self._entries = entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, file_name: str) -> bool:
+        return file_name in self._entries
+
+    def file_names(self) -> list[str]:
+        """All model file names in the manifest, sorted."""
+        return sorted(self._entries)
+
+    def entry(self, file_name: str) -> dict:
+        """Manifest metadata for one model file (a copy; mutation-safe)."""
+        if file_name not in self._entries:
+            raise KamelError(f"model file {file_name!r} not in manifest")
+        return dict(self._entries[file_name])
+
+    def load(self, file_name: str) -> MaskedModel:
+        """Parse one model from disk; a fresh object every call."""
+        if file_name not in self._entries:
+            raise KamelError(f"model file {file_name!r} not in manifest")
+        return _load_model(self.models_dir / file_name)
 
 
 # -- json helpers --------------------------------------------------------------
@@ -201,8 +258,17 @@ def _stored_meta(stored: StoredModel, file_name: str) -> dict:
     }
 
 
-def load_kamel(directory: Union[str, pathlib.Path]) -> Kamel:
-    """Restore a system saved with :func:`save_kamel`, ready to impute."""
+def load_kamel(
+    directory: Union[str, pathlib.Path],
+    model_loader: Optional[ModelLoader] = None,
+) -> Kamel:
+    """Restore a system saved with :func:`save_kamel`, ready to impute.
+
+    ``model_loader`` overrides how each manifest entry becomes a
+    :class:`~repro.mlm.base.MaskedModel`.  The default parses every file
+    eagerly; the serving tier passes a loader that returns lazy proxies so
+    a worker only pays for the models its partition actually queries.
+    """
     root = pathlib.Path(directory)
     config_payload = json.loads(root.joinpath("config.json").read_text())
     version = config_payload.pop("version", None)
@@ -249,16 +315,18 @@ def load_kamel(directory: Union[str, pathlib.Path]) -> Kamel:
 
     manifest = json.loads(root.joinpath("manifest.json").read_text())
     models_dir = root / "models"
+    if model_loader is None:
+        model_loader = lambda name: _load_model(models_dir / name)  # noqa: E731
     for key_name, entry in manifest["single"].items():
         repo._single[_cell_key_from_name(key_name)] = _stored_from_meta(
-            entry, models_dir
+            entry, model_loader
         )
     for pair_name, entry in manifest["neighbor"].items():
         a, b = pair_name.split("__")
         pair: PairKey = (_cell_key_from_name(a), _cell_key_from_name(b))
-        repo._neighbor[pair] = _stored_from_meta(entry, models_dir)
+        repo._neighbor[pair] = _stored_from_meta(entry, model_loader)
     if manifest["global"] is not None:
-        system._global_model = _load_model(models_dir / manifest["global"]["file"])
+        system._global_model = model_loader(manifest["global"]["file"])
 
     detok_payload = json.loads(root.joinpath("detokenizer.json").read_text())
     cells = {}
@@ -297,9 +365,9 @@ def load_kamel(directory: Union[str, pathlib.Path]) -> Kamel:
     return system
 
 
-def _stored_from_meta(entry: dict, models_dir: pathlib.Path) -> StoredModel:
+def _stored_from_meta(entry: dict, model_loader: ModelLoader) -> StoredModel:
     return StoredModel(
-        model=_load_model(models_dir / entry["file"]),
+        model=model_loader(entry["file"]),
         region=_bbox_from_list(entry["region"]),
         token_count=entry["token_count"],
         kind=entry["kind"],

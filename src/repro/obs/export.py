@@ -40,6 +40,7 @@ from repro.obs.tracing import Span, finished_spans
 __all__ = [
     "prometheus_name",
     "render_prometheus",
+    "render_prometheus_snapshot",
     "spans_to_chrome_trace",
     "chrome_trace_json",
     "write_chrome_trace",
@@ -144,6 +145,82 @@ def render_prometheus(registry: Optional[MetricsRegistry] = None) -> str:
             _render_scalar(lines, metric, "gauge")
         elif isinstance(metric, Histogram):
             _render_histogram(lines, metric)
+    if not lines:
+        return ""
+    return "\n".join(lines) + "\n"
+
+
+def _label_str(labels: Optional[dict], extra: Optional[dict] = None) -> str:
+    pairs = dict(labels or {})
+    if extra:
+        pairs.update(extra)
+    if not pairs:
+        return ""
+    body = ",".join(
+        f'{key}="{_escape_label_value(str(value))}"'
+        for key, value in sorted(pairs.items())
+    )
+    return "{" + body + "}"
+
+
+def render_prometheus_snapshot(
+    snapshot: dict,
+    labels: Optional[dict] = None,
+    exclude: Sequence[str] = (),
+) -> str:
+    """Prometheus exposition from a plain snapshot dict (no live registry).
+
+    The serving pool aggregates per-worker registries as
+    :meth:`~repro.obs.metrics.MetricsRegistry.snapshot` dicts shipped over
+    the result queue — by the time ``/metrics`` renders them, there is no
+    metric object to hand to :func:`render_prometheus`. This renders the
+    same exposition straight from the dict shapes ``to_dict`` /
+    :func:`~repro.obs.metrics.merge_snapshots` produce, optionally
+    stamping every sample with ``labels`` (e.g. ``{"worker": "2"}``) and
+    skipping names in ``exclude`` (families the caller renders itself
+    with finer-grained labels). ``# HELP`` lines come from the instrument
+    catalog when the name is known there.
+    """
+    from repro.obs.instrument import METRIC_CATALOG
+
+    lines: list[str] = []
+    for raw_name in sorted(n for n in snapshot if n not in set(exclude)):
+        data = snapshot[raw_name]
+        kind = data.get("type")
+        name = prometheus_name(raw_name)
+        help_text = METRIC_CATALOG.get(raw_name)
+        if help_text:
+            lines.append(f"# HELP {name} {_escape_help(help_text)}")
+        if kind in ("counter", "gauge"):
+            lines.append(f"# TYPE {name} {kind}")
+            lines.append(f"{name}{_label_str(labels)} {_format_number(data['value'])}")
+        elif kind == "histogram":
+            lines.append(f"# TYPE {name} histogram")
+            buckets = sorted(
+                data.get("buckets", {}).items(),
+                key=lambda kv: math.inf if kv[0] == "+Inf" else float(kv[0]),
+            )
+            for key, cumulative in buckets:
+                le = key if key == "+Inf" else _format_number(float(key))
+                lines.append(
+                    f"{name}_bucket{_label_str(labels, {'le': le})} {cumulative}"
+                )
+            lines.append(
+                f"{name}_sum{_label_str(labels)} {_format_number(data['sum'])}"
+            )
+            lines.append(f"{name}_count{_label_str(labels)} {data['count']}")
+            quantile_lines = []
+            for key, estimate in sorted(data.get("quantiles", {}).items()):
+                if estimate is None:
+                    continue
+                quantile = _format_number(int(key.lstrip("p")) / 100.0)
+                quantile_lines.append(
+                    f"{name}_quantile{_label_str(labels, {'quantile': quantile})}"
+                    f" {_format_number(estimate)}"
+                )
+            if quantile_lines:
+                lines.append(f"# TYPE {name}_quantile gauge")
+                lines.extend(quantile_lines)
     if not lines:
         return ""
     return "\n".join(lines) + "\n"

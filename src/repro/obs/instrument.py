@@ -121,6 +121,20 @@ METRIC_CATALOG: dict[str, str] = {
     "repro.streaming.alerts_total": "Rolling-monitor threshold alerts fired by the service.",
     "repro.streaming.quarantined_total": "Inputs dead-lettered to the quarantine store.",
     "repro.streaming.journal_replayed_total": "Pending journal entries reprocessed on service recovery.",
+    # -- serving tier (repro.serve) ----------------------------------------
+    "repro.serve.queue_depth": "Trajectories submitted to the serving pool and not yet completed (all shards).",
+    "repro.serve.submitted_total": "Trajectories routed into worker task queues by the pool.",
+    "repro.serve.results_total": "Trajectory results accepted from workers (after deduplication).",
+    "repro.serve.duplicate_results_total": "Duplicate worker results dropped by the pool (at-least-once replay can resend).",
+    "repro.serve.latency_seconds": "Submit-to-result wall time of one pooled trajectory (includes queueing).",
+    "repro.serve.worker_deaths_total": "Worker processes that died and were replaced by the pool.",
+    "repro.serve.journal_replayed_total": "Journal entries replayed by a replacement worker after a death.",
+    "repro.serve.worker.trajectories_total": "Trajectories processed by one worker (per-worker registries; the pool merges them and labels per-worker samples).",
+    "repro.serve.worker_errors_total": "Worker-side processing errors returned as error results instead of crashing the worker.",
+    "repro.serve.model_lru.hits_total": "Model-LRU cache hits in a worker (model already resident).",
+    "repro.serve.model_lru.misses_total": "Model-LRU cache misses in a worker (model parsed from the store).",
+    "repro.serve.model_lru.evictions_total": "Models evicted from a worker's LRU after exceeding its capacity.",
+    "repro.serve.model_lru.resident": "Models currently resident in a worker's LRU.",
     # -- resilience layer (repro.resilience) -------------------------------
     "repro.resilience.deadline_exceeded_total": "Segment/trajectory deadlines that expired mid-imputation.",
     "repro.resilience.rung_errors_total": "Ladder rungs abandoned after an unexpected (infrastructure) error.",

@@ -35,6 +35,7 @@ __all__ = [
     "LATENCY_BUCKETS",
     "COUNT_BUCKETS",
     "get_registry",
+    "merge_snapshots",
     "set_registry",
 ]
 
@@ -433,6 +434,140 @@ class MetricsRegistry:
 
     def __repr__(self) -> str:
         return f"MetricsRegistry({len(self._metrics)} metrics)"
+
+
+# -- cross-process aggregation ------------------------------------------------
+
+
+def _parse_edge(key: str) -> float:
+    return math.inf if key == "+Inf" else float(key)
+
+
+def _format_edge(edge: float) -> str:
+    return "+Inf" if math.isinf(edge) else repr(edge)
+
+
+def _cumulative_quantile(
+    edges: Sequence[float],
+    cumulative: Sequence[int],
+    count: int,
+    lo: Optional[float],
+    hi: Optional[float],
+    p: float,
+) -> Optional[float]:
+    """Linear interpolation over merged cumulative bucket counts.
+
+    The merged-snapshot counterpart of :meth:`Histogram._bucket_quantile`:
+    P² marker state cannot be combined across processes, but cumulative
+    bucket counts on shared edges sum exactly, and a quantile interpolated
+    from the merged buckets is correct to within one bucket's width.
+    """
+    if not count:
+        return None
+    target = p * count
+    running = 0
+    previous_edge = lo if lo is not None else 0.0
+    top = hi if hi is not None else edges[-1]
+    for edge, cum in zip(edges, cumulative):
+        bucket_count = cum - running
+        if not bucket_count:
+            continue
+        if cum >= target:
+            upper = min(edge, top)
+            fraction = (target - running) / bucket_count
+            return previous_edge + fraction * (upper - previous_edge)
+        running = cum
+        previous_edge = min(edge, top)
+    return hi
+
+
+def merge_snapshots(
+    snapshots: Iterable[Mapping[str, Mapping]],
+) -> dict[str, dict]:
+    """Combine per-process :meth:`MetricsRegistry.snapshot` dicts into one.
+
+    The serving tier runs one registry per worker process; the pool merges
+    their snapshots into a single fleet-wide view for ``/metrics``:
+
+    * counters sum;
+    * gauges sum (a queue depth split across workers adds up), except
+      names ending in ``_rate``, which average — a rate is intensive, not
+      extensive;
+    * histograms sum counts, sums, and cumulative bucket counts on the
+      union of edges; min/max combine; quantiles are re-derived from the
+      merged buckets (P² marker state does not compose across processes).
+
+    A name carrying different metric types across snapshots raises
+    ``ValueError`` — that is a naming bug, not something to paper over.
+    """
+    merged: dict[str, dict] = {}
+    rate_inputs: dict[str, list[float]] = {}
+    for snap in snapshots:
+        for name, data in snap.items():
+            kind = data.get("type")
+            if name not in merged:
+                if kind == "histogram":
+                    merged[name] = {
+                        "type": "histogram",
+                        "count": 0,
+                        "sum": 0.0,
+                        "min": None,
+                        "max": None,
+                        "quantile_keys": set(),
+                        "bucket_counts": {},
+                    }
+                else:
+                    merged[name] = {"type": kind, "value": 0.0}
+            entry = merged[name]
+            if entry["type"] != kind:
+                raise ValueError(
+                    f"metric {name!r} is a {kind} in one snapshot and a "
+                    f"{entry['type']} in another"
+                )
+            if kind == "histogram":
+                entry["count"] += data["count"]
+                entry["sum"] += data["sum"]
+                for bound in ("min", "max"):
+                    value = data.get(bound)
+                    if value is None:
+                        continue
+                    current = entry[bound]
+                    pick = min if bound == "min" else max
+                    entry[bound] = value if current is None else pick(current, value)
+                entry["quantile_keys"].update(data.get("quantiles", {}))
+                for key, cum in data.get("buckets", {}).items():
+                    edge = _parse_edge(key)
+                    entry["bucket_counts"][edge] = (
+                        entry["bucket_counts"].get(edge, 0) + cum
+                    )
+            elif kind in ("counter", "gauge"):
+                entry["value"] += data["value"]
+                if kind == "gauge" and name.endswith("_rate"):
+                    rate_inputs.setdefault(name, []).append(data["value"])
+            else:
+                raise ValueError(f"metric {name!r} has unknown type {kind!r}")
+    for name, values in rate_inputs.items():
+        merged[name]["value"] = sum(values) / len(values)
+    for name, entry in merged.items():
+        if entry["type"] != "histogram":
+            continue
+        edges = sorted(entry.pop("bucket_counts").items())
+        quantile_keys = sorted(entry.pop("quantile_keys"))
+        count = entry["count"]
+        entry["mean"] = entry["sum"] / count if count else 0.0
+        entry["quantiles"] = {
+            key: _cumulative_quantile(
+                [e for e, _ in edges],
+                [c for _, c in edges],
+                count,
+                entry["min"],
+                entry["max"],
+                int(key.lstrip("p")) / 100.0,
+            )
+            for key in quantile_keys
+        }
+        entry["buckets"] = {_format_edge(e): c for e, c in edges}
+    return merged
 
 
 _default_registry = MetricsRegistry()

@@ -1,0 +1,58 @@
+"""Scale-out serving: a sharded multi-worker pool over the saved pyramid.
+
+The paper's scalability story is that the pyramid model repository keeps
+any single request's working set small. This package turns that into a
+deployment shape: N worker processes, each owning one spatial partition
+of the pyramid, behind a deterministic router.
+
+* :mod:`repro.serve.strategies` — partition routing
+  (hash-by-root-cell, spatial-range stripes, round-robin) behind
+  :func:`~repro.serve.strategies.make_strategy`; seeded and
+  ``PYTHONHASHSEED``-independent.
+* :mod:`repro.serve.modelstore` — per-worker bounded model LRU over the
+  read-only :class:`~repro.io.serialize.ModelStore`; a worker's memory
+  is O(cache capacity), not O(pyramid).
+* :mod:`repro.serve.worker` / :mod:`repro.serve.pool` — the worker
+  protocol and the parent-side pool: spawn, route, dedupe,
+  detect-death-and-respawn with per-shard journal replay.
+* :mod:`repro.serve.aggregate` — fleet-wide ``/metrics`` + ``/healthz``
+  from merged per-worker registries.
+* :mod:`repro.serve.loadtest` — ``kamel loadtest``: synthetic traffic,
+  p50/p99 latency, sustained throughput, bit-for-bit verification
+  against the single-process baseline, schema-v2 bench snapshots.
+"""
+
+from repro.serve.loadtest import LoadtestConfig, LoadtestReport, run_loadtest
+from repro.serve.modelstore import LazyModel, ModelLRU, load_kamel_lazy
+from repro.serve.pool import PoolStats, ServeConfig, ServingPool
+from repro.serve.strategies import (
+    STRATEGIES,
+    HashCellStrategy,
+    PartitionStrategy,
+    RoundRobinStrategy,
+    SpatialRangeStrategy,
+    make_strategy,
+    stable_shard,
+)
+from repro.serve.worker import WorkerSpec, worker_main
+
+__all__ = [
+    "HashCellStrategy",
+    "LazyModel",
+    "LoadtestConfig",
+    "LoadtestReport",
+    "ModelLRU",
+    "PartitionStrategy",
+    "PoolStats",
+    "RoundRobinStrategy",
+    "STRATEGIES",
+    "ServeConfig",
+    "ServingPool",
+    "SpatialRangeStrategy",
+    "WorkerSpec",
+    "load_kamel_lazy",
+    "make_strategy",
+    "run_loadtest",
+    "stable_shard",
+    "worker_main",
+]

@@ -1,0 +1,158 @@
+"""Fleet-wide telemetry aggregation for the serving pool.
+
+One worker, one registry — that is the process-local design of
+``repro.obs``. The pool stitches the fleet back together here:
+:func:`render_pool_metrics` merges the parent's ``repro.serve.*`` metrics
+with every worker's latest snapshot into a single Prometheus exposition,
+keeping ``repro.serve.worker.trajectories_total`` out of the merged
+(unlabeled) families and re-emitting it as per-worker ``{worker="N"}``
+samples instead — so one scrape shows both the fleet totals and the
+per-shard load split.
+
+:class:`PoolMetricsServer` hangs that exposition plus the pool's
+aggregated health document on ``/metrics`` and ``/healthz``, same
+stdlib-only shape as :class:`~repro.obs.server.ObservabilityServer`.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+from urllib.parse import urlparse
+
+from repro.obs.export import (
+    CONTENT_TYPE_PROMETHEUS,
+    prometheus_name,
+    render_prometheus_snapshot,
+)
+from repro.obs.instrument import catalog_description
+from repro.obs.logging import get_logger
+
+__all__ = ["PoolMetricsServer", "render_pool_metrics"]
+
+_log = get_logger("serve.aggregate")
+
+_PER_WORKER_COUNTER = "repro.serve.worker.trajectories_total"
+
+
+def render_pool_metrics(pool) -> str:
+    """The pool's merged /metrics body (Prometheus text exposition).
+
+    ``pool`` is a :class:`~repro.serve.pool.ServingPool`; duck-typed so
+    tests can pass a stub with ``merged_snapshot`` and
+    ``worker_processed``.
+    """
+    merged = pool.merged_snapshot()
+    body = render_prometheus_snapshot(merged, exclude=(_PER_WORKER_COUNTER,))
+    lines = [body.rstrip("\n")] if body else []
+    per_worker = getattr(pool, "worker_processed", {})
+    if per_worker:
+        name = prometheus_name(_PER_WORKER_COUNTER)
+        description = catalog_description(_PER_WORKER_COUNTER)
+        if description:
+            lines.append(f"# HELP {name} {description}")
+        lines.append(f"# TYPE {name} counter")
+        for shard in sorted(per_worker):
+            lines.append(f'{name}{{worker="{shard}"}} {per_worker[shard]}')
+    if not lines:
+        return ""
+    return "\n".join(lines) + "\n"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: "_PoolHTTPServer"
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002 — stdlib signature
+        _log.debug(
+            "http request",
+            extra={"data": {"client": self.address_string(), "line": format % args}},
+        )
+
+    def _respond(self, status: int, body: str, content_type: str) -> None:
+        payload = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def do_GET(self) -> None:  # noqa: N802 — stdlib dispatch name
+        route = urlparse(self.path).path.rstrip("/") or "/"
+        if route == "/metrics":
+            self._respond(
+                200, render_pool_metrics(self.server.pool), CONTENT_TYPE_PROMETHEUS
+            )
+        elif route == "/healthz":
+            body = json.dumps(self.server.pool.healthz(), default=float)
+            self._respond(200, body, "application/json; charset=utf-8")
+        else:
+            self._respond(404, "not found: try /metrics, /healthz\n", "text/plain")
+
+
+class _PoolHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    pool: object
+
+
+class PoolMetricsServer:
+    """Background /metrics + /healthz endpoint over a serving pool.
+
+    Reads are approximate by design: the handler thread renders whatever
+    snapshots and counters the pool has at that instant, the same
+    monitoring contract as a Prometheus scrape of any live process.
+    """
+
+    def __init__(self, pool, port: int = 0, host: str = "127.0.0.1") -> None:
+        self.pool = pool
+        self._requested_port = port
+        self.host = host
+        self._httpd: Optional[_PoolHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> "PoolMetricsServer":
+        if self._httpd is not None:
+            return self
+        httpd = _PoolHTTPServer((self.host, self._requested_port), _Handler)
+        httpd.pool = self.pool
+        self._httpd = httpd
+        self._thread = threading.Thread(
+            target=httpd.serve_forever,
+            name=f"serve-metrics:{self.port}",
+            daemon=True,
+        )
+        self._thread.start()
+        _log.info("pool metrics endpoint up", extra={"data": {"url": self.url}})
+        return self
+
+    def stop(self) -> None:
+        if self._httpd is None:
+            return
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self._httpd = None
+        self._thread = None
+
+    def __enter__(self) -> "PoolMetricsServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    @property
+    def running(self) -> bool:
+        return self._httpd is not None
+
+    @property
+    def port(self) -> int:
+        if self._httpd is None:
+            return self._requested_port
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"

@@ -1,0 +1,302 @@
+"""Synthetic load generation against the sharded serving pool.
+
+``kamel loadtest`` answers the scalability question with numbers instead
+of architecture diagrams: train (or reuse) a porto-like system, drive N
+sparse synthetic trajectories from the roadnet simulator through a
+:class:`~repro.serve.pool.ServingPool` at a target rate, and report
+sustained trajectories/sec, p50/p99 submit-to-result latency, per-rung
+degradation counts, and worker-death/replay accounting.
+
+Correctness rides along: with ``verify=True`` (the default) the same
+feed also runs through the plain single-process
+:class:`~repro.core.streaming.StreamingImputationService` and every
+pooled output is compared **bit-for-bit** against the baseline —
+imputation is deterministic, sharding must not change a single
+coordinate. The report's ``mismatches`` must be 0 and ``lost`` must be 0
+for the run to count as passing.
+
+The numbers land in a schema-v2 bench snapshot (``BENCH_serve.json``)
+via :mod:`repro.bench`, so loadtest runs diff with ``kamel stats a b``
+and feed the CI perf gate like every other benchmark in the repo.
+Throughput scaling is machine-dependent (worker processes need cores to
+run on); latency percentiles include queueing delay by design.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.core.config import KamelConfig
+from repro.core.kamel import Kamel
+from repro.core.streaming import StreamingConfig, StreamingImputationService
+from repro.errors import ConfigError
+from repro.geo import Trajectory
+from repro.io.serialize import load_kamel, save_kamel
+from repro.obs import instrument as obs
+from repro.obs.logging import get_logger
+from repro.obs.metrics import get_registry
+from repro.resilience.journal import trajectory_to_payload
+from repro.roadnet.datasets import make_porto_like
+from repro.roadnet.simulator import SimulatorConfig, TrajectorySimulator
+from repro.serve.pool import ServeConfig, ServingPool
+
+__all__ = ["LoadtestConfig", "LoadtestReport", "run_loadtest"]
+
+_log = get_logger("serve.loadtest")
+
+
+@dataclass(frozen=True)
+class LoadtestConfig:
+    """One reproducible loadtest scenario."""
+
+    workers: int = 4
+    trajectories: int = 200
+    """Synthetic trajectories to drive through the pool."""
+    rate_tps: float = 0.0
+    """Target submission rate (trajectories/sec); 0 floods as fast as
+    the router accepts."""
+    sparseness_m: float = 800.0
+    """Gap width imposed on the simulated (dense) trips before serving."""
+    train_trajectories: int = 200
+    """Trips in the porto-like training workload (when training here)."""
+    seed: int = 7
+    strategy: str = "hash"
+    lru_capacity: int = 64
+    max_model_calls: int = 600
+    """Per-segment model-call budget for the trained system (bounds the
+    loadtest's wall time without changing its determinism)."""
+    verify: bool = True
+    """Also run the single-process baseline and compare bit-for-bit."""
+    kill_worker_after: Optional[int] = None
+    """Chaos: shard 0 dies on its Nth task (exercises journal replay)."""
+    journal: bool = True
+
+    def __post_init__(self) -> None:
+        if self.trajectories < 1:
+            raise ConfigError(
+                f"trajectories must be >= 1, got {self.trajectories!r}"
+            )
+        if self.rate_tps < 0:
+            raise ConfigError(f"rate_tps must be >= 0, got {self.rate_tps!r}")
+
+
+@dataclass
+class LoadtestReport:
+    """Everything one loadtest run measured."""
+
+    workers: int
+    strategy: str
+    trajectories: int
+    completed: int
+    lost: int
+    duplicates: int
+    wall_s: float
+    throughput_tps: float
+    latency_p50_ms: float
+    latency_p99_ms: float
+    latency_mean_ms: float
+    rungs: dict[str, int] = field(default_factory=dict)
+    segments: int = 0
+    failed_segments: int = 0
+    degraded_segments: int = 0
+    model_calls: int = 0
+    quarantined: int = 0
+    worker_deaths: int = 0
+    journal_replayed: int = 0
+    worker_errors: int = 0
+    verified: bool = False
+    mismatches: int = 0
+    single_wall_s: Optional[float] = None
+    single_throughput_tps: Optional[float] = None
+    speedup_vs_single: Optional[float] = None
+
+    @property
+    def ok(self) -> bool:
+        """Every input accounted for and (if verified) byte-identical."""
+        return self.lost == 0 and self.mismatches == 0 and self.completed > 0
+
+    def to_dict(self) -> dict:
+        out = dict(self.__dict__)
+        out["ok"] = self.ok
+        return out
+
+    def bench_metrics(self) -> dict[str, float]:
+        """The flat metric dict one repeat contributes to BENCH_serve.json."""
+        metrics: dict[str, float] = {
+            "repro.serve.trajectories": float(self.trajectories),
+            "repro.serve.workers": float(self.workers),
+            "repro.serve.wall_seconds": self.wall_s,
+            "repro.serve.throughput_tps": self.throughput_tps,
+            "repro.serve.latency_p50_ms": self.latency_p50_ms,
+            "repro.serve.latency_p99_ms": self.latency_p99_ms,
+            "repro.serve.latency_mean_ms": self.latency_mean_ms,
+            "repro.serve.segments": float(self.segments),
+            "repro.serve.failed_segments": float(self.failed_segments),
+            "repro.serve.degraded_segments": float(self.degraded_segments),
+            "repro.serve.model_calls": float(self.model_calls),
+            "repro.serve.worker_deaths": float(self.worker_deaths),
+            "repro.serve.journal_replayed": float(self.journal_replayed),
+            "repro.serve.mismatches": float(self.mismatches),
+            "repro.serve.lost": float(self.lost),
+        }
+        for rung, count in sorted(self.rungs.items()):
+            metrics[f"repro.serve.rung.{rung}"] = float(count)
+        if self.single_throughput_tps is not None:
+            metrics["repro.serve.single_throughput_tps"] = self.single_throughput_tps
+        if self.speedup_vs_single is not None:
+            metrics["repro.serve.speedup_vs_single"] = self.speedup_vs_single
+        return metrics
+
+
+def _make_feed(config: LoadtestConfig, dataset) -> list[Trajectory]:
+    """Fresh synthetic traffic over the training city (ids disjoint from
+    the training trips), sparsified the way the paper's evaluation does."""
+    simulator = TrajectorySimulator(
+        dataset.network,
+        SimulatorConfig(sample_interval_s=15.0, seed=config.seed + 101),
+    )
+    dense = simulator.simulate(config.trajectories, id_prefix="load")
+    return [t.sparsify(config.sparseness_m) for t in dense]
+
+
+def _run_baseline(
+    config: LoadtestConfig, model_dir: str, feed: list[Trajectory]
+) -> tuple[dict[str, list[dict]], float]:
+    """The single-process reference: same saved system, same feed."""
+    system = load_kamel(model_dir)
+    service = StreamingImputationService(system, StreamingConfig())
+    outputs: dict[str, list[dict]] = {}
+    started = time.perf_counter()
+    for trajectory in feed:
+        results = service.process(trajectory)
+        outputs[trajectory.traj_id] = [
+            trajectory_to_payload(r.trajectory) for r in results
+        ]
+    return outputs, time.perf_counter() - started
+
+
+def _count_mismatches(
+    baseline: dict[str, list[dict]], results: dict[str, dict]
+) -> int:
+    """Trajectories whose pooled output differs from the baseline at all
+    (payloads are raw float lists, so equality is bit-for-bit)."""
+    mismatches = 0
+    for traj_id, expected in baseline.items():
+        message = results.get(traj_id)
+        if message is None or message.get("trips") != expected:
+            mismatches += 1
+    return mismatches
+
+
+def run_loadtest(
+    config: LoadtestConfig,
+    workdir: Optional[Union[str, pathlib.Path]] = None,
+) -> LoadtestReport:
+    """Run one loadtest scenario end to end; returns the report.
+
+    ``workdir`` holds the saved model directory and the per-shard
+    journals (inspectable afterwards); omitted, a temporary directory is
+    used and cleaned up.
+    """
+    cleanup: Optional[tempfile.TemporaryDirectory] = None
+    if workdir is None:
+        cleanup = tempfile.TemporaryDirectory(prefix="kamel-loadtest-")
+        workdir = cleanup.name
+    workdir = pathlib.Path(workdir)
+    try:
+        dataset = make_porto_like(
+            n_trajectories=config.train_trajectories, seed=config.seed
+        )
+        train, _ = dataset.split(seed=1)
+        system = Kamel(KamelConfig(max_model_calls=config.max_model_calls))
+        system.fit(train)
+        model_dir = workdir / "model"
+        save_kamel(system, model_dir)
+        del system  # workers load their own lazy copies
+
+        feed = _make_feed(config, dataset)
+        _log.info(
+            "loadtest feed ready",
+            extra={"data": {
+                "trajectories": len(feed),
+                "points": sum(len(t) for t in feed),
+                "model_dir": str(model_dir),
+            }},
+        )
+
+        baseline: Optional[dict[str, list[dict]]] = None
+        single_wall: Optional[float] = None
+        if config.verify:
+            baseline, single_wall = _run_baseline(config, str(model_dir), feed)
+
+        journal_dir = str(workdir / "journal") if config.journal else None
+        serve_config = ServeConfig(
+            workers=config.workers,
+            strategy=config.strategy,
+            lru_capacity=config.lru_capacity,
+            journal_dir=journal_dir,
+            crash_worker_after=config.kill_worker_after,
+            chaos_seed=config.seed,
+        )
+        # A fresh latency window per run: the serve metrics may carry
+        # state from an earlier run in this process (tests, repeats).
+        get_registry().reset(prefix="repro.serve")
+        pool = ServingPool(str(model_dir), serve_config)
+        interval = 1.0 / config.rate_tps if config.rate_tps > 0 else 0.0
+        with pool:
+            started = time.perf_counter()
+            next_submit = started
+            for trajectory in feed:
+                if interval:
+                    delay = next_submit - time.perf_counter()
+                    if delay > 0:
+                        time.sleep(delay)
+                    next_submit += interval
+                pool.submit(trajectory)
+            results = pool.drain()
+            wall = time.perf_counter() - started
+
+        latency = obs.histogram("repro.serve.latency_seconds")
+        p50 = latency.quantile(0.5) or 0.0
+        p99 = latency.quantile(0.99) or 0.0
+        report = LoadtestReport(
+            workers=config.workers,
+            strategy=config.strategy,
+            trajectories=len(feed),
+            completed=pool.stats.completed,
+            lost=pool.stats.lost,
+            duplicates=pool.stats.duplicates,
+            wall_s=wall,
+            throughput_tps=pool.stats.completed / wall if wall > 0 else 0.0,
+            latency_p50_ms=p50 * 1000.0,
+            latency_p99_ms=p99 * 1000.0,
+            latency_mean_ms=latency.mean * 1000.0,
+            rungs=dict(pool.stats.rungs),
+            segments=pool.stats.segments,
+            failed_segments=pool.stats.failed_segments,
+            degraded_segments=pool.stats.degraded_segments,
+            model_calls=pool.stats.model_calls,
+            quarantined=pool.stats.quarantined,
+            worker_deaths=pool.stats.worker_deaths,
+            journal_replayed=pool.stats.journal_replayed,
+            worker_errors=pool.stats.errors,
+        )
+        if baseline is not None:
+            report.verified = True
+            report.mismatches = _count_mismatches(baseline, results)
+            report.single_wall_s = single_wall
+            if single_wall and single_wall > 0:
+                report.single_throughput_tps = len(feed) / single_wall
+                if report.throughput_tps > 0:
+                    report.speedup_vs_single = (
+                        report.throughput_tps / report.single_throughput_tps
+                    )
+        _log.info("loadtest finished", extra={"data": report.to_dict()})
+        return report
+    finally:
+        if cleanup is not None:
+            cleanup.cleanup()

@@ -1,0 +1,509 @@
+"""The sharded serving pool: router, worker lifecycle, result accounting.
+
+:class:`ServingPool` is the parent-side half of ``repro.serve``. It
+spawns one worker process per shard (``multiprocessing`` ``spawn``
+context — no inherited state, same behavior everywhere), routes each
+submitted trajectory to a shard with a
+:class:`~repro.serve.strategies.PartitionStrategy`, and collects results
+from a shared queue.
+
+Delivery semantics are **at-least-once from workers, exactly-once to the
+caller**: a worker journals each task and may re-send results after a
+crash-and-replay, and the pool deduplicates by trajectory id. A worker
+that dies (detected via ``Process.is_alive`` while draining) is replaced
+by a new incarnation on the *same* task queue with ``recover=True``, so
+it first replays its shard journal — the failure-handling story of the
+single-process service, lifted to a fleet.
+
+The pool is also the fleet's observability point: per-worker registry
+snapshots arriving on the result queue are merged
+(:func:`~repro.obs.metrics.merge_snapshots`) with the parent's own
+``repro.serve.*`` metrics into one ``/metrics`` view, served by
+:class:`~repro.serve.aggregate.PoolMetricsServer` when
+``metrics_port`` is set.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing as mp
+import pathlib
+import queue as queue_mod
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.core.partitioning import PyramidIndex
+from repro.core.tokenization import make_grid
+from repro.errors import ConfigError
+from repro.geo import BoundingBox, Trajectory
+from repro.obs import instrument as obs
+from repro.obs.logging import get_logger
+from repro.obs.metrics import get_registry, merge_snapshots
+from repro.serve.strategies import PartitionStrategy, make_strategy
+from repro.serve.worker import WorkerSpec, worker_main
+
+__all__ = ["PoolStats", "ServeConfig", "ServingPool"]
+
+_log = get_logger("serve.pool")
+
+
+class _SyncQueue:
+    """A synchronous many-writers/one-reader message channel.
+
+    ``multiprocessing.Queue.put`` hands the object to a background feeder
+    thread and returns immediately — so a worker that crashes hard right
+    after ``put`` can lose the message, *after* it already journaled the
+    task ``done``. That breaks the delivery fence the journal protocol
+    relies on. This channel sends on a plain pipe under a cross-process
+    lock instead: when ``put`` returns, the bytes are in the kernel pipe,
+    and a subsequent ``os._exit`` cannot take them back.
+    """
+
+    def __init__(self, ctx) -> None:
+        self._reader, self._writer = ctx.Pipe(duplex=False)
+        self._lock = ctx.Lock()
+
+    def put(self, obj) -> None:
+        with self._lock:
+            self._writer.send(obj)
+
+    def get(self, timeout: Optional[float] = None):
+        if not self._reader.poll(timeout):
+            raise queue_mod.Empty
+        return self._reader.recv()
+
+    def get_nowait(self):
+        return self.get(timeout=0)
+
+    def close(self) -> None:
+        self._reader.close()
+        self._writer.close()
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """How the pool shards, recovers, and reports."""
+
+    workers: int = 2
+    strategy: str = "hash"
+    """Partition strategy name (see :data:`repro.serve.strategies.STRATEGIES`)."""
+    strategy_seed: int = 0
+    lru_capacity: int = 64
+    """Resident models per worker."""
+    journal_dir: Optional[str] = None
+    """Per-shard write-ahead journals (``worker-<shard>.jsonl``) live
+    here. None disables durability: a worker death then loses its
+    in-flight trajectory (drain times out instead of replaying it)."""
+    metrics_port: Optional[int] = None
+    """Serve aggregated /metrics + /healthz on this localhost port
+    (0 picks a free ephemeral port); None starts no endpoint."""
+    start_method: str = "spawn"
+    drain_timeout_s: float = 300.0
+    """Overall bound on one drain() call — the backstop against a lost
+    task wedging the pool forever."""
+    revive_dead_workers: bool = True
+    max_revives_per_shard: int = 3
+    """Backstop against a poisoned shard crash-looping: after this many
+    respawns, the shard is left dead and drain() reports its work lost."""
+    metrics_every: int = 25
+    """Workers ship a registry snapshot every this many tasks."""
+    crash_worker_after: Optional[int] = None
+    """Chaos: shard 0's first incarnation dies on its Nth task."""
+    chaos_seed: int = 0
+    trip_gap_s: float = 600.0
+    max_speed_mps: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ConfigError(f"workers must be >= 1, got {self.workers!r}")
+
+
+@dataclass
+class PoolStats:
+    """Fleet-wide accounting over one pool lifetime."""
+
+    submitted: int = 0
+    completed: int = 0
+    duplicates: int = 0
+    journal_replayed: int = 0
+    worker_deaths: int = 0
+    errors: int = 0
+    quarantined: int = 0
+    trips: int = 0
+    segments: int = 0
+    failed_segments: int = 0
+    degraded_segments: int = 0
+    model_calls: int = 0
+    rungs: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def lost(self) -> int:
+        """Submitted trajectories never accounted for (should be 0)."""
+        return max(0, self.submitted - self.completed)
+
+
+def _routing_context(
+    model_dir: Union[str, pathlib.Path]
+) -> tuple[object, Optional[BoundingBox]]:
+    """Grid + data region for the router, read from the saved system's
+    metadata only — no model files are parsed in the parent."""
+    root = pathlib.Path(model_dir)
+    config_payload = json.loads(root.joinpath("config.json").read_text())
+    grid = make_grid(config_payload["grid_type"], config_payload["cell_edge_m"])
+    meta = json.loads(root.joinpath("system.json").read_text())
+    region: Optional[BoundingBox] = None
+    if meta.get("pyramid") is not None:
+        pyramid = PyramidIndex(
+            BoundingBox(*meta["pyramid"]["root"]), meta["pyramid"]["height"]
+        )
+        keys = [
+            tuple(int(v) for v in name.split("_"))
+            for name in meta.get("token_counts", {})
+        ]
+        if keys:
+            # The union of the deepest occupied pyramid cells hugs the
+            # training data much tighter than the pyramid root (which is
+            # padded out to a power-of-two square), so range sharding
+            # stripes actual traffic, not empty margin.
+            deepest = max(k[0] for k in keys)
+            boxes = [pyramid.cell_bbox(k) for k in keys if k[0] == deepest]
+            region = BoundingBox(
+                min(b.min_x for b in boxes),
+                min(b.min_y for b in boxes),
+                max(b.max_x for b in boxes),
+                max(b.max_y for b in boxes),
+            )
+        else:
+            region = pyramid.root
+    return grid, region
+
+
+class ServingPool:
+    """N worker processes behind a deterministic spatial router."""
+
+    def __init__(
+        self,
+        model_dir: Union[str, pathlib.Path],
+        config: Optional[ServeConfig] = None,
+    ) -> None:
+        self.model_dir = str(model_dir)
+        self.config = config or ServeConfig()
+        grid, region = _routing_context(self.model_dir)
+        self.strategy: PartitionStrategy = make_strategy(
+            self.config.strategy,
+            self.config.workers,
+            grid=grid,
+            region=region,
+            seed=self.config.strategy_seed,
+        )
+        self.stats = PoolStats()
+        self.results: dict[str, dict] = {}
+        self.worker_processed: dict[int, int] = {
+            shard: 0 for shard in range(self.config.workers)
+        }
+        self.worker_snapshots: dict[int, dict] = {}
+        self.worker_lru: dict[int, dict] = {}
+        self._ctx = mp.get_context(self.config.start_method)
+        self._task_queues: list = []
+        self._result_queue = None
+        self._procs: dict[int, mp.process.BaseProcess] = {}
+        self._revives: dict[int, int] = {}
+        self._incarnations = 0
+        self._byes: set[int] = set()
+        self._outstanding: dict[str, tuple[int, float]] = {}
+        self._started = False
+        self._stopping = False
+        self.metrics_server = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "ServingPool":
+        if self._started:
+            return self
+        self._result_queue = _SyncQueue(self._ctx)
+        for shard in range(self.config.workers):
+            self._task_queues.append(self._ctx.Queue())
+            self._spawn(shard, recover=False)
+        self._started = True
+        if self.config.metrics_port is not None:
+            from repro.serve.aggregate import PoolMetricsServer
+
+            self.metrics_server = PoolMetricsServer(
+                self, port=self.config.metrics_port
+            ).start()
+        _log.info(
+            "serving pool started",
+            extra={"data": {
+                "workers": self.config.workers,
+                "strategy": self.strategy.name,
+                "model_dir": self.model_dir,
+            }},
+        )
+        return self
+
+    def _spec(self, shard: int, recover: bool) -> WorkerSpec:
+        self._incarnations += 1
+        crash_after = None
+        if self.config.crash_worker_after is not None and shard == 0 and not recover:
+            crash_after = self.config.crash_worker_after
+        return WorkerSpec(
+            worker_id=self._incarnations,
+            shard=shard,
+            model_dir=self.model_dir,
+            lru_capacity=self.config.lru_capacity,
+            journal_dir=self.config.journal_dir,
+            recover=recover,
+            crash_after=crash_after,
+            chaos_seed=self.config.chaos_seed,
+            metrics_every=self.config.metrics_every,
+            trip_gap_s=self.config.trip_gap_s,
+            max_speed_mps=self.config.max_speed_mps,
+        )
+
+    def _spawn(self, shard: int, recover: bool) -> None:
+        spec = self._spec(shard, recover)
+        proc = self._ctx.Process(
+            target=worker_main,
+            args=(spec, self._task_queues[shard], self._result_queue),
+            name=f"kamel-serve-{shard}",
+            daemon=True,
+        )
+        proc.start()
+        self._procs[shard] = proc
+        self._byes.discard(shard)
+
+    def __enter__(self) -> "ServingPool":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- submission & draining ---------------------------------------------
+
+    def submit(self, trajectory: Trajectory) -> int:
+        """Route one trajectory to its shard; returns the shard index."""
+        if not self._started:
+            raise ConfigError("pool not started (use start() or a with-block)")
+        shard = self.strategy.shard_for(trajectory)
+        self._outstanding[trajectory.traj_id] = (shard, time.perf_counter())
+        self.stats.submitted += 1
+        obs.count("repro.serve.submitted_total")
+        obs.gauge("repro.serve.queue_depth").set(len(self._outstanding))
+        self._task_queues[shard].put(trajectory)
+        self._pump(0.0)
+        return shard
+
+    @property
+    def outstanding(self) -> int:
+        return len(self._outstanding)
+
+    def drain(self, timeout: Optional[float] = None) -> dict[str, dict]:
+        """Wait until every submitted trajectory has a result (or timeout).
+
+        Returns the accumulated ``traj_id -> result message`` map. While
+        idle, checks worker liveness and revives dead shards; on overall
+        timeout it logs the unaccounted ids and returns what arrived —
+        ``stats.lost`` then says how many never came back.
+        """
+        deadline = time.monotonic() + (
+            timeout if timeout is not None else self.config.drain_timeout_s
+        )
+        while self._outstanding:
+            if self._pump(0.25):
+                continue
+            self._check_workers()
+            if not any(p.is_alive() for p in self._procs.values()):
+                # Every shard is dead (revive cap hit or revival off) —
+                # drain the queue's stragglers and give up early rather
+                # than sleeping out the full timeout.
+                if not self._pump(1.0):
+                    _log.error(
+                        "all workers dead with outstanding work",
+                        extra={"data": {"outstanding": len(self._outstanding)}},
+                    )
+                    break
+                continue
+            if time.monotonic() > deadline:
+                _log.error(
+                    "drain timed out with unaccounted trajectories",
+                    extra={"data": {
+                        "outstanding": len(self._outstanding),
+                        "ids": sorted(self._outstanding)[:10],
+                    }},
+                )
+                break
+        return self.results
+
+    def process_all(
+        self, trajectories, timeout: Optional[float] = None
+    ) -> dict[str, dict]:
+        """Submit a batch and drain it (the loadtest / CLI convenience)."""
+        for trajectory in trajectories:
+            self.submit(trajectory)
+        return self.drain(timeout=timeout)
+
+    # -- message handling --------------------------------------------------
+
+    def _pump(self, timeout: float) -> bool:
+        """Handle at most one worker message; True if one was handled."""
+        try:
+            if timeout > 0:
+                message = self._result_queue.get(timeout=timeout)
+            else:
+                message = self._result_queue.get_nowait()
+        except queue_mod.Empty:
+            return False
+        self._handle(message)
+        return True
+
+    def _handle(self, message: dict) -> None:
+        kind = message.get("kind")
+        if kind == "result":
+            self._handle_result(message)
+        elif kind in ("metrics", "bye"):
+            self.worker_snapshots[message["shard"]] = message["snapshot"]
+            if kind == "bye":
+                self._byes.add(message["shard"])
+                self.worker_lru[message["shard"]] = message.get("lru", {})
+        # "ready" needs no bookkeeping beyond existing process state.
+
+    def _handle_result(self, message: dict) -> None:
+        traj_id = message["traj_id"]
+        if traj_id in self.results:
+            # At-least-once delivery: a replayed task can re-send a result
+            # the dead worker already delivered. Exactly-once is restored
+            # here, by id.
+            self.stats.duplicates += 1
+            obs.count("repro.serve.duplicate_results_total")
+            self._outstanding.pop(traj_id, None)
+            return
+        self.results[traj_id] = message
+        self.stats.completed += 1
+        obs.count("repro.serve.results_total")
+        info = self._outstanding.pop(traj_id, None)
+        if info is not None:
+            obs.observe(
+                "repro.serve.latency_seconds", time.perf_counter() - info[1]
+            )
+        obs.gauge("repro.serve.queue_depth").set(len(self._outstanding))
+        shard = message["shard"]
+        self.worker_processed[shard] = self.worker_processed.get(shard, 0) + 1
+        if message.get("replayed"):
+            self.stats.journal_replayed += 1
+        if message.get("error"):
+            self.stats.errors += 1
+        if message.get("quarantined"):
+            self.stats.quarantined += 1
+        self.stats.trips += len(message.get("trips", ()))
+        self.stats.segments += message.get("segments", 0)
+        self.stats.failed_segments += message.get("failed", 0)
+        self.stats.degraded_segments += message.get("degraded", 0)
+        self.stats.model_calls += message.get("model_calls", 0)
+        for rung, count in message.get("rungs", {}).items():
+            self.stats.rungs[rung] = self.stats.rungs.get(rung, 0) + count
+
+    # -- worker liveness ---------------------------------------------------
+
+    def _check_workers(self) -> None:
+        for shard, proc in list(self._procs.items()):
+            if proc.is_alive() or shard in self._byes:
+                continue
+            proc.join(timeout=1.0)
+            self.stats.worker_deaths += 1
+            obs.count("repro.serve.worker_deaths_total")
+            _log.warning(
+                "worker died; respawning its shard",
+                extra={"data": {
+                    "shard": shard,
+                    "exitcode": proc.exitcode,
+                    "revive": self.config.revive_dead_workers,
+                }},
+            )
+            revives = self._revives.get(shard, 0)
+            if (
+                self.config.revive_dead_workers
+                and not self._stopping
+                and revives < self.config.max_revives_per_shard
+            ):
+                # Same task queue (undrained work survives), recover=True
+                # (the replacement replays the shard journal first).
+                self._revives[shard] = revives + 1
+                self._spawn(shard, recover=True)
+            else:
+                self._byes.add(shard)
+
+    # -- shutdown ----------------------------------------------------------
+
+    def stop(self, timeout: float = 20.0) -> None:
+        """Sentinel every shard, collect goodbyes, reap the processes."""
+        if not self._started or self._stopping:
+            return
+        self._stopping = True
+        for task_queue in self._task_queues:
+            task_queue.put(None)
+        deadline = time.monotonic() + timeout
+        while len(self._byes) < len(self._procs) and time.monotonic() < deadline:
+            if self._pump(0.25):
+                continue
+            if not any(p.is_alive() for p in self._procs.values()):
+                break
+        for proc in self._procs.values():
+            proc.join(timeout=5.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5.0)
+        while self._pump(0.0):
+            pass
+        for task_queue in self._task_queues:
+            task_queue.close()
+            task_queue.cancel_join_thread()
+        self._result_queue.close()
+        if self.metrics_server is not None:
+            self.metrics_server.stop()
+            self.metrics_server = None
+        _log.info(
+            "serving pool stopped",
+            extra={"data": {
+                "completed": self.stats.completed,
+                "worker_deaths": self.stats.worker_deaths,
+            }},
+        )
+
+    # -- fleet observability -----------------------------------------------
+
+    def merged_snapshot(self) -> dict[str, dict]:
+        """One fleet-wide metrics snapshot: the parent's ``repro.serve.*``
+        metrics merged with the latest snapshot from every worker."""
+        parent = get_registry().snapshot(prefix="repro.serve")
+        return merge_snapshots([parent, *self.worker_snapshots.values()])
+
+    def healthz(self) -> dict:
+        """The aggregated health document behind ``/healthz``."""
+        per_shard_outstanding: dict[int, int] = {}
+        for shard, _ in self._outstanding.values():
+            per_shard_outstanding[shard] = per_shard_outstanding.get(shard, 0) + 1
+        workers = []
+        for shard in sorted(self._procs):
+            proc = self._procs[shard]
+            workers.append(
+                {
+                    "shard": shard,
+                    "alive": proc.is_alive(),
+                    "pid": proc.pid,
+                    "processed": self.worker_processed.get(shard, 0),
+                    "queue_depth": per_shard_outstanding.get(shard, 0),
+                }
+            )
+        alive = all(w["alive"] for w in workers) if workers else False
+        return {
+            "status": "ok" if alive and self.stats.lost == 0 else "degraded",
+            "strategy": self.strategy.name,
+            "submitted": self.stats.submitted,
+            "completed": self.stats.completed,
+            "outstanding": len(self._outstanding),
+            "duplicates": self.stats.duplicates,
+            "worker_deaths": self.stats.worker_deaths,
+            "journal_replayed": self.stats.journal_replayed,
+            "workers": workers,
+        }

@@ -1,0 +1,182 @@
+"""Partition routing for the sharded serving tier.
+
+A :class:`PartitionStrategy` maps an incoming trajectory to one of N
+worker shards. The pyramid model repository is spatial, so a spatial
+routing key keeps each worker's working set small: a worker that only
+ever sees trajectories starting in its slice of the city only ever loads
+the models covering that slice (the point of the per-worker model LRU).
+
+Determinism is a hard requirement, not a nicety: the router runs in the
+parent, journal replay runs in a *respawned* worker, and a loadtest
+compares against a single-process baseline — all three must agree on
+which shard owns a trajectory, across processes, runs, and
+``PYTHONHASHSEED`` values. Routing therefore hashes explicit,
+byte-serialized cell ids with BLAKE2b (:func:`stable_shard`) and never
+touches Python's builtin ``hash()``, whose string hashing is salted per
+process.
+
+Strategies live behind :func:`make_strategy` so the pool, the CLI, and
+the tests all construct them by name from one registry.
+"""
+
+from __future__ import annotations
+
+import abc
+import hashlib
+import struct
+from typing import Callable, Optional
+
+from repro.errors import ConfigError
+from repro.geo import BoundingBox, Trajectory
+from repro.grid.base import Cell, Grid
+
+__all__ = [
+    "PartitionStrategy",
+    "HashCellStrategy",
+    "SpatialRangeStrategy",
+    "RoundRobinStrategy",
+    "STRATEGIES",
+    "make_strategy",
+    "stable_shard",
+]
+
+
+def stable_shard(cell: Cell, num_partitions: int, seed: int = 0) -> int:
+    """Deterministic shard for a grid cell: BLAKE2b over its packed bytes.
+
+    The cell's two signed integer coordinates are serialized with
+    ``struct.pack`` (fixed little-endian layout) and hashed together with
+    the seed — the result depends only on those bytes, so every process,
+    interpreter restart, and ``PYTHONHASHSEED`` produces the same shard.
+    """
+    data = struct.pack("<q2q", seed, int(cell[0]), int(cell[1]))
+    digest = hashlib.blake2b(data, digest_size=8).digest()
+    return int.from_bytes(digest, "big") % num_partitions
+
+
+class PartitionStrategy(abc.ABC):
+    """Maps a trajectory to a shard index in ``[0, num_partitions)``."""
+
+    name = "abstract"
+
+    def __init__(self, num_partitions: int) -> None:
+        if num_partitions < 1:
+            raise ConfigError(
+                f"num_partitions must be >= 1, got {num_partitions!r}"
+            )
+        self.num_partitions = num_partitions
+
+    @abc.abstractmethod
+    def shard_for(self, trajectory: Trajectory) -> int:
+        """The shard that owns this trajectory."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(num_partitions={self.num_partitions})"
+
+
+class HashCellStrategy(PartitionStrategy):
+    """Hash of the trajectory's root grid cell (the default).
+
+    The routing key is the grid cell of the trajectory's *first* point —
+    the "root cell" anchoring the trip spatially. Trips starting in the
+    same cell always land on the same worker (model locality), and the
+    BLAKE2b hash spreads cells evenly across shards regardless of city
+    geometry.
+    """
+
+    name = "hash"
+
+    def __init__(self, num_partitions: int, grid: Grid, seed: int = 0) -> None:
+        super().__init__(num_partitions)
+        self.grid = grid
+        self.seed = seed
+
+    def shard_for(self, trajectory: Trajectory) -> int:
+        if len(trajectory) == 0:
+            return 0
+        cell = self.grid.cell_of(trajectory.points[0])
+        return stable_shard(cell, self.num_partitions, self.seed)
+
+
+class SpatialRangeStrategy(PartitionStrategy):
+    """Equal-width vertical stripes over the service region.
+
+    Shard ``k`` owns the k-th x-stripe of the region's bounding box; a
+    trajectory routes by its first point. Contiguous ownership makes each
+    worker's model set a compact sub-rectangle of the pyramid — the best
+    LRU locality of the three strategies — at the cost of load skew when
+    traffic concentrates in a few stripes.
+    """
+
+    name = "range"
+
+    def __init__(self, num_partitions: int, region: BoundingBox) -> None:
+        super().__init__(num_partitions)
+        self.region = region
+        width = region.max_x - region.min_x
+        self._stripe = width / num_partitions if width > 0 else 1.0
+
+    def shard_for(self, trajectory: Trajectory) -> int:
+        if len(trajectory) == 0:
+            return 0
+        x = trajectory.points[0].x
+        index = int((x - self.region.min_x) / self._stripe)
+        return max(0, min(self.num_partitions - 1, index))
+
+
+class RoundRobinStrategy(PartitionStrategy):
+    """Cycle through shards in submission order (no spatial locality).
+
+    The load-balancing baseline: perfectly even work distribution, worst
+    model-cache behavior (every worker eventually loads everything). Also
+    the only strategy usable without routing context, e.g. a saved system
+    with partitioning disabled ("No Part." variant).
+    """
+
+    name = "round_robin"
+
+    def __init__(self, num_partitions: int) -> None:
+        super().__init__(num_partitions)
+        self._next = 0
+
+    def shard_for(self, trajectory: Trajectory) -> int:
+        shard = self._next
+        self._next = (self._next + 1) % self.num_partitions
+        return shard
+
+
+StrategyFactory = Callable[..., PartitionStrategy]
+
+STRATEGIES: dict[str, StrategyFactory] = {
+    HashCellStrategy.name: HashCellStrategy,
+    SpatialRangeStrategy.name: SpatialRangeStrategy,
+    RoundRobinStrategy.name: RoundRobinStrategy,
+}
+"""Strategy name -> class, the registry behind :func:`make_strategy`."""
+
+
+def make_strategy(
+    name: str,
+    num_partitions: int,
+    grid: Optional[Grid] = None,
+    region: Optional[BoundingBox] = None,
+    seed: int = 0,
+) -> PartitionStrategy:
+    """Build a routing strategy by name, validating its context needs.
+
+    ``hash`` needs a ``grid``; ``range`` needs a ``region``;
+    ``round_robin`` needs neither. Unknown names raise
+    :class:`~repro.errors.ConfigError` listing the registry.
+    """
+    if name not in STRATEGIES:
+        known = ", ".join(sorted(STRATEGIES))
+        raise ConfigError(f"unknown partition strategy {name!r} (known: {known})")
+    if name == HashCellStrategy.name:
+        if grid is None:
+            raise ConfigError("the 'hash' strategy needs a grid for cell lookup")
+        return HashCellStrategy(num_partitions, grid, seed)
+    if name == SpatialRangeStrategy.name:
+        if region is None:
+            raise ConfigError("the 'range' strategy needs a service region bbox")
+        return SpatialRangeStrategy(num_partitions, region)
+    return RoundRobinStrategy(num_partitions)

@@ -1,0 +1,230 @@
+"""The worker-process side of the serving pool.
+
+Each worker owns one spatial shard: it restores the saved system with
+lazy model loading (:func:`~repro.serve.modelstore.load_kamel_lazy`),
+wraps it in a :class:`~repro.core.streaming.StreamingImputationService`
+(cleaning, quarantine, degradation ladder — all the single-process
+machinery, unchanged), and consumes trajectories from its task queue
+until it receives the ``None`` sentinel.
+
+Durability is the worker's job, not the service's: the worker journals
+``begin`` before touching a task and ``done`` only after the result is
+*on the result queue*. A crash anywhere in between leaves the entry
+pending, and the replacement worker the pool spawns replays it before
+taking new traffic — so results are delivered at-least-once and the pool
+deduplicates by trajectory id. Imputation is deterministic, so a replayed
+result is byte-identical to the one the dead worker would have sent.
+
+Everything the worker measures lands in its own process-local
+:class:`~repro.obs.metrics.MetricsRegistry`; snapshots ride the result
+queue (periodically and in the final ``bye`` message) for the pool to
+merge into the fleet-wide ``/metrics`` view.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.streaming import StreamingConfig, StreamingImputationService
+from repro.geo import Trajectory
+from repro.obs import instrument as obs
+from repro.obs.logging import get_logger
+from repro.obs.metrics import get_registry
+from repro.resilience.chaos import ChaosConfig, ChaosMonkey, InjectedCrash
+from repro.resilience.journal import StreamJournal, trajectory_to_payload
+from repro.serve.modelstore import DEFAULT_LRU_CAPACITY, load_kamel_lazy
+
+__all__ = ["CRASH_EXIT_CODE", "WorkerSpec", "worker_main"]
+
+_log = get_logger("serve.worker")
+
+CRASH_EXIT_CODE = 13
+"""Exit status of an injected worker crash (distinguishable from bugs)."""
+
+
+@dataclass(frozen=True)
+class WorkerSpec:
+    """Everything a spawned worker needs (must stay picklable)."""
+
+    worker_id: int
+    """Incarnation-unique id (a respawn on the same shard gets a new one)."""
+    shard: int
+    """The partition this worker owns; stable across respawns."""
+    model_dir: str
+    """Directory written by :func:`repro.io.save_kamel`."""
+    lru_capacity: int = DEFAULT_LRU_CAPACITY
+    journal_dir: Optional[str] = None
+    """Per-shard write-ahead journals live here; None disables durability."""
+    recover: bool = False
+    """Replay the shard journal's pending entries before new traffic."""
+    crash_after: Optional[int] = None
+    """Chaos: die (``os._exit``) on the Nth task taken from the queue."""
+    chaos_seed: int = 0
+    metrics_every: int = 25
+    """Ship a registry snapshot to the pool every this many tasks."""
+    trip_gap_s: float = 600.0
+    max_speed_mps: float = 60.0
+
+    def journal_path(self) -> Optional[str]:
+        if self.journal_dir is None:
+            return None
+        return os.path.join(self.journal_dir, f"worker-{self.shard}.jsonl")
+
+    def quarantine_path(self) -> Optional[str]:
+        if self.journal_dir is None:
+            return None
+        return os.path.join(
+            self.journal_dir, f"worker-{self.shard}.quarantine.jsonl"
+        )
+
+
+def _snapshot_message(spec: WorkerSpec, processed: int) -> dict:
+    return {
+        "kind": "metrics",
+        "shard": spec.shard,
+        "worker_id": spec.worker_id,
+        "processed": processed,
+        "snapshot": get_registry().snapshot(),
+    }
+
+
+def _process_one(
+    spec: WorkerSpec,
+    service: StreamingImputationService,
+    journal: Optional[StreamJournal],
+    result_queue,
+    trajectory: Trajectory,
+    replayed: bool,
+) -> None:
+    """Impute one trajectory and deliver its result (at-least-once).
+
+    The ``done`` journal record is written only after the result message
+    is enqueued: dying between the two re-delivers the result on replay,
+    which the pool's dedupe absorbs — the safe side of the fence.
+    """
+    quarantined_before = service.stats.quarantined
+    started = time.perf_counter()
+    message = {
+        "kind": "result",
+        "shard": spec.shard,
+        "worker_id": spec.worker_id,
+        "traj_id": trajectory.traj_id,
+        "replayed": replayed,
+        "error": None,
+    }
+    try:
+        results = service.process(trajectory)
+        rungs: dict[str, int] = {}
+        for result in results:
+            for rung, count in result.rung_counts.items():
+                rungs[rung] = rungs.get(rung, 0) + count
+        message.update(
+            {
+                "trips": [trajectory_to_payload(r.trajectory) for r in results],
+                "segments": sum(r.num_segments for r in results),
+                "failed": sum(r.num_failed for r in results),
+                "degraded": sum(r.num_degraded for r in results),
+                "model_calls": sum(r.total_model_calls for r in results),
+                "rungs": rungs,
+                "quarantined": service.stats.quarantined > quarantined_before,
+            }
+        )
+    except Exception as exc:  # noqa: BLE001 - one bad input must not kill the shard
+        obs.count("repro.serve.worker_errors_total")
+        _log.error(
+            "worker processing error",
+            extra={"data": {"trajectory": trajectory.traj_id, "error": repr(exc)}},
+        )
+        message.update(
+            {
+                "trips": [],
+                "segments": 0,
+                "failed": 0,
+                "degraded": 0,
+                "model_calls": 0,
+                "rungs": {},
+                "quarantined": False,
+                "error": repr(exc),
+            }
+        )
+    message["process_s"] = time.perf_counter() - started
+    result_queue.put(message)
+    obs.count("repro.serve.worker.trajectories_total")
+    if journal is not None:
+        journal.done(trajectory.traj_id)
+
+
+def worker_main(spec: WorkerSpec, task_queue, result_queue) -> None:
+    """Entry point of one worker process (target of ``Process``)."""
+    system, cache = load_kamel_lazy(spec.model_dir, lru_capacity=spec.lru_capacity)
+    # The worker journals at loop level (so delivery is part of the
+    # transaction); the inner service runs journal-less.
+    service = StreamingImputationService(
+        system,
+        StreamingConfig(
+            max_speed_mps=spec.max_speed_mps,
+            trip_gap_s=spec.trip_gap_s,
+            quarantine_path=spec.quarantine_path(),
+        ),
+    )
+    journal: Optional[StreamJournal] = None
+    path = spec.journal_path()
+    if path is not None:
+        journal = StreamJournal(path)
+    monkey: Optional[ChaosMonkey] = None
+    if spec.crash_after is not None:
+        monkey = ChaosMonkey(
+            ChaosConfig(seed=spec.chaos_seed, crash_after=spec.crash_after)
+        )
+
+    result_queue.put(
+        {"kind": "ready", "shard": spec.shard, "worker_id": spec.worker_id}
+    )
+    processed = 0
+
+    if spec.recover and journal is not None:
+        for trajectory in journal.pending():
+            obs.count("repro.serve.journal_replayed_total")
+            _process_one(spec, service, journal, result_queue, trajectory, True)
+            processed += 1
+
+    while True:
+        trajectory = task_queue.get()
+        if trajectory is None:
+            break
+        if journal is not None:
+            journal.begin(trajectory)
+        if monkey is not None:
+            try:
+                # After the journal write — the injected death leaves the
+                # task pending, exactly like a real crash mid-processing.
+                monkey.on_process()
+            except InjectedCrash:
+                # An abrupt process death, not an exception unwind: no
+                # goodbye message, no cleanup, no atexit — the pool must
+                # notice the dead process via is_alive() and respawn.
+                os._exit(CRASH_EXIT_CODE)
+        _process_one(spec, service, journal, result_queue, trajectory, False)
+        processed += 1
+        if spec.metrics_every and processed % spec.metrics_every == 0:
+            result_queue.put(_snapshot_message(spec, processed))
+
+    result_queue.put(
+        {
+            "kind": "bye",
+            "shard": spec.shard,
+            "worker_id": spec.worker_id,
+            "processed": processed,
+            "snapshot": get_registry().snapshot(),
+            "lru": {
+                "capacity": cache.capacity,
+                "resident": len(cache),
+                "hits": cache.hits,
+                "misses": cache.misses,
+                "evictions": cache.evictions,
+            },
+        }
+    )

@@ -1,0 +1,145 @@
+"""The ``kamel serve`` and ``kamel loadtest`` commands.
+
+The loadtest run here is deliberately tiny (small training set, few
+trajectories) — it exercises the full path (train, save, pool, verify,
+bench snapshot) without dominating the suite's wall time. The ``serve``
+tests reuse the session-trained system so no extra training happens.
+"""
+
+import json
+import re
+
+import pytest
+
+from repro.bench import SCHEMA_V2, load_snapshot
+from repro.cli import build_parser, main
+from repro.io.serialize import save_kamel
+from repro.resilience.journal import trajectory_to_payload
+
+
+@pytest.fixture(scope="module")
+def saved_dir(trained_kamel, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("cli_model")
+    save_kamel(trained_kamel, directory)
+    return directory
+
+
+@pytest.fixture(scope="module")
+def input_jsonl(small_split, tmp_path_factory):
+    _, test = small_split
+    path = tmp_path_factory.mktemp("cli_feed") / "sparse.jsonl"
+    with open(path, "w") as handle:
+        for trajectory in test[:5]:
+            payload = trajectory_to_payload(trajectory.sparsify(800.0))
+            handle.write(json.dumps(payload) + "\n")
+    return path
+
+
+class TestServeParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["serve", "--demo"])
+        assert args.workers == 2
+        assert args.strategy == "hash"
+        assert args.lru_capacity == 64
+
+    def test_strategy_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--strategy", "modulo"])
+
+    def test_needs_model_or_demo(self, capsys):
+        assert main(["serve"]) == 2
+        assert "--model-dir or --demo" in capsys.readouterr().err
+
+    def test_needs_input_without_demo(self, capsys, saved_dir):
+        assert main(["serve", "--model-dir", str(saved_dir)]) == 2
+        assert "--input" in capsys.readouterr().err
+
+
+class TestServeCommand:
+    def test_jsonl_roundtrip(self, capsys, saved_dir, input_jsonl, tmp_path):
+        out_path = tmp_path / "dense.jsonl"
+        rc = main(
+            [
+                "serve",
+                "--model-dir", str(saved_dir),
+                "--input", str(input_jsonl),
+                "--output", str(out_path),
+                "--workers", "2",
+                "--journal-dir", str(tmp_path / "journal"),
+            ]
+        )
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert re.search(r"trajectories completed\s+5\b", captured.out)
+        assert re.search(r"trajectories lost\s+0\b", captured.out)
+        lines = [
+            json.loads(line) for line in out_path.read_text().splitlines() if line
+        ]
+        assert len(lines) == 5
+        for record in lines:
+            assert record["error"] is None
+            assert 0 <= record["shard"] < 2
+            for trip in record["trips"]:
+                assert trip["points"]  # dense output, journal payload shape
+
+
+class TestLoadtestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["loadtest"])
+        assert args.workers == 4
+        assert args.trajectories == 200
+        assert args.rate == 0.0
+        assert not args.no_verify
+
+    def test_assertion_flags(self):
+        args = build_parser().parse_args(
+            ["loadtest", "--min-throughput", "1.5", "--max-p99-ms", "5000"]
+        )
+        assert args.min_throughput == 1.5
+        assert args.max_p99_ms == 5000.0
+
+
+class TestLoadtestCommand:
+    @pytest.fixture(scope="class")
+    def run(self, tmp_path_factory):
+        """One tiny end-to-end loadtest shared by the assertions below."""
+        out_dir = tmp_path_factory.mktemp("loadtest_out")
+        bench_path = out_dir / "BENCH_serve.json"
+        import io
+        from contextlib import redirect_stdout
+
+        stdout = io.StringIO()
+        with redirect_stdout(stdout):
+            rc = main(
+                [
+                    "loadtest",
+                    "--workers", "2",
+                    "--trajectories", "6",
+                    "--train-trajectories", "40",
+                    "--seed", "7",
+                    "--json",
+                    "-o", str(bench_path),
+                ]
+            )
+        return rc, stdout.getvalue(), bench_path
+
+    def test_passes_and_verifies(self, run):
+        rc, stdout, _ = run
+        assert rc == 0
+        report = json.loads(stdout)
+        assert report["ok"] is True
+        assert report["completed"] == 6
+        assert report["lost"] == 0
+        assert report["verified"] is True
+        assert report["mismatches"] == 0
+        assert report["throughput_tps"] > 0
+
+    def test_bench_snapshot_written(self, run):
+        _, _, bench_path = run
+        doc = load_snapshot(bench_path)
+        assert doc["schema"] == SCHEMA_V2
+        assert set(doc["modules"]) == {"serve"}
+        metrics = doc["modules"]["serve"]
+        assert metrics["repro.serve.mismatches"]["mean"] == 0.0
+        assert metrics["repro.serve.throughput_tps"]["mean"] > 0
+        assert doc["environment"]["seed"] == 7

@@ -1,0 +1,100 @@
+"""Worker-death recovery: journal replay restores exactly-once results.
+
+Chaos scenario: shard 0's first incarnation is told to die (a hard
+``os._exit``, no unwind) on its Nth task. The pool must notice the dead
+process, respawn the shard with ``recover=True``, replay the pending
+journal entry, and finish the batch — with the final output map still
+byte-identical to the single-process baseline and every submitted
+trajectory accounted for.
+"""
+
+import pytest
+
+from repro.core.streaming import StreamingConfig, StreamingImputationService
+from repro.io.serialize import load_kamel, save_kamel
+from repro.obs.metrics import get_registry
+from repro.resilience.journal import trajectory_to_payload
+from repro.serve import ServeConfig, ServingPool
+
+pytestmark = pytest.mark.chaos
+
+
+@pytest.fixture(scope="module")
+def saved_dir(trained_kamel, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("recovery_model")
+    save_kamel(trained_kamel, directory)
+    return directory
+
+
+@pytest.fixture(scope="module")
+def sparse_feed(small_split):
+    _, test = small_split
+    return [t.sparsify(800.0) for t in test[:12]]
+
+
+@pytest.fixture(scope="module")
+def baseline(saved_dir, sparse_feed):
+    system = load_kamel(saved_dir)
+    service = StreamingImputationService(system, StreamingConfig())
+    return {
+        t.traj_id: [trajectory_to_payload(r.trajectory) for r in service.process(t)]
+        for t in sparse_feed
+    }
+
+
+@pytest.fixture(scope="module")
+def crashed_run(saved_dir, sparse_feed, tmp_path_factory):
+    """One pool run where shard 0 dies mid-batch; shared by the asserts."""
+    get_registry().reset(prefix="repro.serve")
+    journal_dir = tmp_path_factory.mktemp("recovery_journal")
+    config = ServeConfig(
+        workers=2,
+        # Deterministic half/half split so shard 0 is guaranteed enough
+        # tasks to reach its crash point.
+        strategy="round_robin",
+        journal_dir=str(journal_dir),
+        crash_worker_after=2,
+        drain_timeout_s=240.0,
+    )
+    pool = ServingPool(str(saved_dir), config)
+    with pool:
+        results = pool.process_all(sparse_feed, timeout=240)
+    return pool, results
+
+
+class TestWorkerDeathRecovery:
+    def test_death_detected_and_shard_revived(self, crashed_run):
+        pool, _ = crashed_run
+        assert pool.stats.worker_deaths == 1
+
+    def test_journal_replayed(self, crashed_run):
+        pool, _ = crashed_run
+        # The trajectory that was in flight when the worker died was
+        # journaled (begin, no done) and must come back via replay.
+        assert pool.stats.journal_replayed >= 1
+
+    def test_nothing_lost(self, crashed_run, sparse_feed):
+        pool, results = crashed_run
+        assert pool.stats.lost == 0
+        assert set(results) == {t.traj_id for t in sparse_feed}
+
+    def test_results_match_single_process(self, crashed_run, baseline):
+        _, results = crashed_run
+        for traj_id, expected in baseline.items():
+            assert results[traj_id]["trips"] == expected
+
+    def test_replayed_results_flagged(self, crashed_run):
+        _, results = crashed_run
+        assert any(message.get("replayed") for message in results.values())
+
+
+class TestJournalDisabled:
+    def test_pool_without_journal_still_serves(self, saved_dir, sparse_feed):
+        # No journal_dir: no durability, but the happy path (no crash)
+        # must work identically.
+        get_registry().reset(prefix="repro.serve")
+        pool = ServingPool(str(saved_dir), ServeConfig(workers=1))
+        with pool:
+            results = pool.process_all(sparse_feed[:4], timeout=120)
+        assert len(results) == 4
+        assert pool.stats.lost == 0

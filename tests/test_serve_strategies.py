@@ -1,0 +1,160 @@
+"""Partition routing: determinism, geometry, and the strategy factory.
+
+The hard requirement under test here is that routing is a pure function
+of explicit cell bytes — the same trajectory must land on the same shard
+in the parent router, in a respawned worker replaying its journal, and
+in a fresh interpreter with a different ``PYTHONHASHSEED``.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.core.tokenization import make_grid
+from repro.errors import ConfigError
+from repro.geo import BoundingBox, Point, Trajectory
+from repro.serve.strategies import (
+    STRATEGIES,
+    HashCellStrategy,
+    RoundRobinStrategy,
+    SpatialRangeStrategy,
+    make_strategy,
+    stable_shard,
+)
+
+
+def _traj(traj_id: str, x: float, y: float) -> Trajectory:
+    return Trajectory(traj_id, (Point(x, y, 0.0), Point(x + 50.0, y, 30.0)))
+
+
+class TestStableShard:
+    def test_golden_values(self):
+        # Pinned outputs: any change here silently reshuffles every
+        # journal and worker assignment in deployed pools.
+        cells = [(0, 0), (1, -2), (-3, 7), (12, 5)]
+        assert [stable_shard(c, 4) for c in cells] == [0, 3, 2, 3]
+
+    def test_seed_changes_assignment(self):
+        assert [stable_shard((0, 0), 4, seed=s) for s in range(4)] == [0, 2, 2, 0]
+
+    def test_in_range_and_stable(self):
+        for cell in [(-5, -5), (0, 0), (100, 3), (7, -13)]:
+            for n in (1, 2, 3, 7):
+                shard = stable_shard(cell, n)
+                assert 0 <= shard < n
+                assert shard == stable_shard(cell, n)
+
+    def test_independent_of_pythonhashseed(self):
+        # A fresh interpreter with a different hash salt must agree with
+        # this process on every assignment — the property builtin hash()
+        # would break.
+        cells = [(0, 0), (3, -4), (-17, 9), (256, 1024)]
+        local = [stable_shard(c, 8, seed=5) for c in cells]
+        script = (
+            "import json, sys\n"
+            "from repro.serve.strategies import stable_shard\n"
+            "cells = json.loads(sys.argv[1])\n"
+            "print(json.dumps([stable_shard(tuple(c), 8, seed=5) for c in cells]))\n"
+        )
+        import repro
+
+        src_dir = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        for hashseed in ("0", "1", "424242"):
+            env = dict(os.environ, PYTHONHASHSEED=hashseed)
+            env["PYTHONPATH"] = os.pathsep.join(
+                filter(None, [src_dir, env.get("PYTHONPATH", "")])
+            )
+            out = subprocess.run(
+                [sys.executable, "-c", script, json.dumps(cells)],
+                env=env,
+                capture_output=True,
+                text=True,
+                timeout=60,
+            )
+            assert out.returncode == 0, out.stderr
+            assert json.loads(out.stdout) == local
+
+
+class TestHashCellStrategy:
+    def test_same_start_cell_same_shard(self):
+        grid = make_grid("square", 100.0)
+        strategy = HashCellStrategy(4, grid)
+        a = strategy.shard_for(_traj("a", 10.0, 10.0))
+        b = strategy.shard_for(_traj("b", 40.0, 60.0))  # same 100 m cell
+        assert a == b
+        assert 0 <= a < 4
+
+    def test_empty_trajectory_routes_to_zero(self):
+        strategy = HashCellStrategy(4, make_grid("square", 100.0))
+        assert strategy.shard_for(Trajectory("empty", ())) == 0
+
+    def test_spreads_across_shards(self):
+        grid = make_grid("square", 50.0)
+        strategy = HashCellStrategy(4, grid)
+        shards = {
+            strategy.shard_for(_traj(f"t{i}", i * 137.0, i * 59.0))
+            for i in range(40)
+        }
+        assert len(shards) >= 3
+
+
+class TestSpatialRangeStrategy:
+    def test_stripes_partition_the_region(self):
+        region = BoundingBox(0.0, 0.0, 400.0, 400.0)
+        strategy = SpatialRangeStrategy(4, region)
+        assert strategy.shard_for(_traj("left", 10.0, 200.0)) == 0
+        assert strategy.shard_for(_traj("mid", 150.0, 200.0)) == 1
+        assert strategy.shard_for(_traj("right", 390.0, 200.0)) == 3
+
+    def test_clamps_outside_region(self):
+        region = BoundingBox(0.0, 0.0, 400.0, 400.0)
+        strategy = SpatialRangeStrategy(4, region)
+        assert strategy.shard_for(_traj("west", -500.0, 0.0)) == 0
+        assert strategy.shard_for(_traj("east", 5000.0, 0.0)) == 3
+
+    def test_degenerate_region(self):
+        region = BoundingBox(100.0, 0.0, 100.0, 400.0)  # zero width
+        strategy = SpatialRangeStrategy(3, region)
+        assert strategy.shard_for(_traj("t", 100.0, 10.0)) == 0
+
+
+class TestRoundRobinStrategy:
+    def test_cycles(self):
+        strategy = RoundRobinStrategy(3)
+        trajectory = _traj("t", 0.0, 0.0)
+        assert [strategy.shard_for(trajectory) for _ in range(7)] == [
+            0, 1, 2, 0, 1, 2, 0,
+        ]
+
+
+class TestFactory:
+    def test_registry_names(self):
+        assert set(STRATEGIES) == {"hash", "range", "round_robin"}
+
+    def test_builds_each_kind(self):
+        grid = make_grid("square", 100.0)
+        region = BoundingBox(0.0, 0.0, 100.0, 100.0)
+        assert isinstance(
+            make_strategy("hash", 2, grid=grid), HashCellStrategy
+        )
+        assert isinstance(
+            make_strategy("range", 2, region=region), SpatialRangeStrategy
+        )
+        assert isinstance(make_strategy("round_robin", 2), RoundRobinStrategy)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigError, match="unknown partition strategy"):
+            make_strategy("modulo", 2)
+
+    def test_missing_context_rejected(self):
+        with pytest.raises(ConfigError, match="grid"):
+            make_strategy("hash", 2)
+        with pytest.raises(ConfigError, match="region"):
+            make_strategy("range", 2)
+
+    def test_bad_partition_count_rejected(self):
+        with pytest.raises(ConfigError, match="num_partitions"):
+            make_strategy("round_robin", 0)
