@@ -1,0 +1,157 @@
+"""Distributed-tracing overhead: the disabled hot path and the per-request
+attribution cost.
+
+The serving tier's tracing must be free when off and cheap when on. Off
+is the default and rides the perf gate indirectly (the no-op ``span``
+singleton adds one branch to every instrumented call — the counting
+suite's exact counters would catch anything heavier). This module puts
+numbers on the *enabled* machinery the pool pays per completed request:
+serializing a worker span tree for the result queue, rebuilding and
+clock-shifting it pool-side, the five-stage breakdown, and the flight
+recorder's bounded bookkeeping. All are microseconds against a
+multi-millisecond imputation — the assertions hold them to that order.
+"""
+
+import time
+
+import pytest
+
+from repro.obs.flight import FlightRecord, FlightRecorder, stage_breakdown
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import (
+    Span,
+    clear_spans,
+    disable_tracing,
+    enable_tracing,
+    finished_spans,
+    span,
+    trace_scope,
+)
+
+from conftest import run_once, show
+
+REQUESTS = 2000
+SEGMENTS_PER_REQUEST = 8
+
+
+def _request_tree(index: int) -> Span:
+    """A span tree shaped like one imputed trajectory's."""
+    with trace_scope(f"{index:016x}"):
+        with span("streaming.process") as root:
+            with span("serve.model_load"):
+                pass
+            for _ in range(SEGMENTS_PER_REQUEST):
+                with span("impute.segment"):
+                    with span("model.predict"):
+                        pass
+            with span("detokenize"):
+                pass
+    return root
+
+
+def _run():
+    # Disabled path: the shared no-op span on a hot loop.
+    disable_tracing()
+    clear_spans()
+    start = time.perf_counter()
+    for _ in range(REQUESTS * SEGMENTS_PER_REQUEST):
+        with span("impute.segment"):
+            pass
+    noop_span_ns = (time.perf_counter() - start) / (
+        REQUESTS * SEGMENTS_PER_REQUEST
+    ) * 1e9
+
+    # Enabled path, measured per stage of the pool's pipeline.
+    enable_tracing()
+    clear_spans()
+    trees = [_request_tree(i) for i in range(REQUESTS)]
+    clear_spans()
+
+    start = time.perf_counter()
+    wire = [tree.to_dict() for tree in trees]
+    serialize_us = (time.perf_counter() - start) / REQUESTS * 1e6
+
+    start = time.perf_counter()
+    rebuilt = [Span.from_dict(payload).shift(0.5) for payload in wire]
+    rebuild_us = (time.perf_counter() - start) / REQUESTS * 1e6
+
+    start = time.perf_counter()
+    breakdowns = [
+        stage_breakdown(0.01, 0.001, 0.0005, roots=[tree]) for tree in rebuilt
+    ]
+    breakdown_us = (time.perf_counter() - start) / REQUESTS * 1e6
+
+    registry = MetricsRegistry()
+    recorder = FlightRecorder(capacity=32, registry=registry)
+    start = time.perf_counter()
+    for index, stages in enumerate(breakdowns):
+        recorder.record(
+            FlightRecord(
+                trace_id=f"{index:016x}",
+                traj_id=f"traj-{index}",
+                latency_s=sum(stages.values()),
+                stages=stages,
+                shard=index % 4,
+                roots=[rebuilt[index]],
+            )
+        )
+    record_us = (time.perf_counter() - start) / REQUESTS * 1e6
+    disable_tracing()
+    clear_spans()
+
+    return {
+        "noop_span_ns": noop_span_ns,
+        "serialize_us": serialize_us,
+        "rebuild_shift_us": rebuild_us,
+        "stage_breakdown_us": breakdown_us,
+        "flight_record_us": record_us,
+        "retained": len(recorder),
+    }
+
+
+@pytest.fixture(scope="module")
+def tracing_run():
+    return _run()
+
+
+def test_tracing_overhead_regenerate(benchmark, capsys):
+    result = run_once(benchmark, _run)
+    metrics = [
+        "noop_span_ns",
+        "serialize_us",
+        "rebuild_shift_us",
+        "stage_breakdown_us",
+        "flight_record_us",
+    ]
+    show(
+        capsys,
+        "Serving-tier tracing: disabled-path and per-request attribution cost",
+        "metric",
+        metrics,
+        {"serve_tracing": [result[m] for m in metrics]},
+    )
+    assert result["retained"] == 32
+
+
+def test_disabled_span_stays_sub_microsecond(tracing_run):
+    # The no-op singleton must stay far below one imputed segment's cost;
+    # 5µs is generous even for a loaded CI runner.
+    assert tracing_run["noop_span_ns"] < 5_000
+
+
+def test_attribution_is_microseconds_per_request(tracing_run):
+    # Serialize + rebuild + breakdown + record, per request, must stay
+    # orders of magnitude under a multi-millisecond imputation.
+    total_us = (
+        tracing_run["serialize_us"]
+        + tracing_run["rebuild_shift_us"]
+        + tracing_run["stage_breakdown_us"]
+        + tracing_run["flight_record_us"]
+    )
+    assert total_us < 2_000
+
+
+def test_tracer_state_restored():
+    from repro.obs.tracing import tracing_enabled
+
+    assert not tracing_enabled()

@@ -62,6 +62,11 @@ SUITES: dict[str, Suite] = {
         ("bench_quality_obs.py",),
         "quality-observability enabled-path cost and drift/ECE signals",
     ),
+    "tracing": Suite(
+        "tracing",
+        ("bench_serve_tracing.py",),
+        "serving-tier tracing: no-op span and per-request attribution cost",
+    ),
     "all": Suite(
         "all",
         ("",),  # the whole benchmarks/ directory

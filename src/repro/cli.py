@@ -40,6 +40,13 @@ Sharded serving (see docs/serving.md)::
     kamel loadtest --workers 4 --trajectories 200 --output BENCH_serve.json
     kamel loadtest --workers 2 --kill-worker-after 5   # exercises recovery
 
+Distributed tracing & tail-latency attribution (see docs/serving.md)::
+
+    kamel loadtest --trace-out trace.json --flight-out flight.json
+    kamel tail flight.json                 # p50/p99 stage-attribution table
+    kamel tail http://127.0.0.1:9101/slow  # same, from a live pool
+    kamel trace --from flight.json --trace-id 4f2a... --export text
+
 Quality observability (see docs/observability.md)::
 
     kamel quality --heatmap quality.svg --quality-out quality.json
@@ -431,25 +438,75 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_trace_roots(path: str) -> list:
+    """Span trees from a file: a flight payload (``--flight-out`` /
+    ``/slow``), a single span-tree JSON object, or span JSONL."""
+    from repro.obs import Span
+
+    with open(path) as handle:
+        text = handle.read()
+    if text.lstrip().startswith("{"):
+        doc = json.loads(text)
+        if "slowest" in doc:
+            return [
+                Span.from_dict(span_dict)
+                for record in doc["slowest"]
+                for span_dict in record.get("spans") or []
+            ]
+        if "traceEvents" in doc:
+            raise ValueError(
+                "chrome trace-event files flatten the span trees; "
+                "use a flight payload (--flight-out or /slow) or a jsonl export"
+            )
+        return [Span.from_dict(doc)]
+    return [
+        Span.from_dict(json.loads(line))
+        for line in text.splitlines()
+        if line.strip()
+    ]
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
-    """Run a subcommand with tracing on, then export the span trees."""
+    """Run a subcommand with tracing on (or load an existing export),
+    filter by trace id if asked, then export the span trees."""
     from repro.obs import clear_spans, enable_tracing, finished_spans
     from repro.obs.export import chrome_trace_json, spans_to_jsonl
 
     rest = list(args.rest)
     if rest and rest[0] == "--":
         rest = rest[1:]
-    if not rest:
-        print(
-            "usage: kamel trace [--export chrome|jsonl|text] [-o PATH] -- <command ...>",
-            file=sys.stderr,
-        )
-        return 2
-    nested = build_parser().parse_args(rest)
-    enable_tracing()
-    clear_spans()
-    rc = nested.func(nested)
-    roots = finished_spans()
+    rc = 0
+    if args.from_file:
+        try:
+            roots = _load_trace_roots(args.from_file)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"error: cannot load spans from {args.from_file}: {exc}", file=sys.stderr)
+            return 2
+    else:
+        if not rest:
+            print(
+                "usage: kamel trace [--export chrome|jsonl|text] [-o PATH] "
+                "[--trace-id ID] -- <command ...>\n"
+                "       kamel trace --from flight.json [--trace-id ID]",
+                file=sys.stderr,
+            )
+            return 2
+        nested = build_parser().parse_args(rest)
+        enable_tracing()
+        clear_spans()
+        rc = nested.func(nested)
+        roots = finished_spans()
+    if args.trace_id:
+        roots = [
+            root
+            for root in roots
+            if any(s.trace_id == args.trace_id for s in root.walk())
+        ]
+        if not roots:
+            print(
+                f"no span trees carry trace id {args.trace_id}", file=sys.stderr
+            )
+            return rc or 1
     if args.export == "chrome":
         rendered = chrome_trace_json(roots) + "\n"
     elif args.export == "jsonl":
@@ -467,6 +524,91 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     else:
         print(rendered, end="")
     return rc
+
+
+def _load_flight_payload(source: str) -> dict:
+    """A flight-recorder payload from a file or a live ``/slow`` route."""
+    if source.startswith(("http://", "https://")):
+        from urllib.request import urlopen
+
+        url = source
+        if not url.rstrip("/").endswith("/slow"):
+            url = url.rstrip("/") + "/slow"
+        with urlopen(url) as response:
+            return json.loads(response.read().decode("utf-8"))
+    with open(source) as handle:
+        return json.load(handle)
+
+
+def _format_stage_ms(value) -> str:
+    return f"{float(value) * 1000.0:.1f}" if value is not None else "-"
+
+
+def _cmd_tail(args: argparse.Namespace) -> int:
+    """Render a flight-recorder payload: the p50/p99 stage-attribution
+    table plus the slowest retained requests."""
+    from repro.obs.flight import STAGES
+
+    try:
+        payload = _load_flight_payload(args.source)
+    except (OSError, ValueError) as exc:
+        print(
+            f"error: cannot read flight payload from {args.source}: {exc}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.json:
+        print(json.dumps(payload, indent=2, default=float))
+        return 0
+    stages = payload.get("stages") or {}
+    slowest = payload.get("slowest") or []
+    print(
+        f"flight recorder: {payload.get('recorded_total', 0)} requests recorded, "
+        f"{len(slowest)} retained (capacity {payload.get('capacity', '?')})"
+    )
+    ordered = [s for s in STAGES if s in stages]
+    ordered += sorted(s for s in stages if s not in STAGES)
+    rows = []
+    for stage in ordered:
+        row = stages[stage] or {}
+        rows.append(
+            [
+                stage,
+                str(row.get("count", 0)),
+                _format_stage_ms(row.get("mean")),
+                _format_stage_ms(row.get("p50")),
+                _format_stage_ms(row.get("p99")),
+                _format_stage_ms(row.get("max")),
+                str(row.get("exemplar_trace_id", "-")),
+            ]
+        )
+    if rows:
+        print(
+            render_table(
+                ["stage", "count", "mean ms", "p50 ms", "p99 ms", "max ms", "worst trace"],
+                rows,
+            )
+        )
+    if slowest:
+        print()
+        srows = [
+            [
+                str(record.get("trace_id", "?")),
+                str(record.get("traj_id", "?")),
+                f"{float(record.get('latency_s') or 0.0) * 1000.0:.1f}",
+                str(record.get("dominant_stage", "?")),
+                str(record.get("shard", "-")),
+                str(record.get("error") or ""),
+            ]
+            for record in slowest[: args.slowest]
+        ]
+        print(
+            render_table(
+                ["trace", "trajectory", "latency ms", "dominant stage", "shard", "error"],
+                srows,
+            )
+        )
+    return 0
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
@@ -892,6 +1034,10 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
         lru_capacity=args.lru_capacity,
         kill_worker_after=args.kill_worker_after,
         verify=not args.no_verify,
+        trace=args.trace or bool(args.trace_out),
+        trace_out=args.trace_out,
+        flight_out=args.flight_out,
+        flight_capacity=args.flight_capacity,
     )
     print(
         f"loadtest: train {args.train_trajectories} trips, then "
@@ -900,6 +1046,14 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
         file=sys.stderr,
     )
     report = run_loadtest(config, workdir=args.workdir)
+    if report.trace_out:
+        print(f"wrote merged chrome trace to {report.trace_out}", file=sys.stderr)
+    if report.flight_out:
+        print(
+            f"wrote flight recorder payload to {report.flight_out} "
+            f"(inspect with: kamel tail {report.flight_out})",
+            file=sys.stderr,
+        )
     if args.output:
         from repro.bench import make_snapshot, write_snapshot
 
@@ -928,6 +1082,13 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
             ["worker deaths", str(report.worker_deaths)],
             ["journal replayed", str(report.journal_replayed)],
         ]
+        for stage, row in report.stages.items():
+            if row.get("count") and row.get("p99") is not None:
+                rows.append(
+                    [f"stage p99: {stage} (ms)", f"{row['p99'] * 1000.0:.1f}"]
+                )
+        if report.traced_requests:
+            rows.append(["traced requests", str(report.traced_requests)])
         if report.verified:
             rows.append(["verified (bit-for-bit)", f"{report.mismatches} mismatches"])
         if report.single_throughput_tps is not None:
@@ -1160,6 +1321,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a schema-v2 bench snapshot here (e.g. BENCH_serve.json)",
     )
     p_load.add_argument(
+        "--trace",
+        action="store_true",
+        help="workers ship span trees with every result (stage attribution "
+        "gets model_load/detokenize splits; required for --trace-out)",
+    )
+    p_load.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="write the merged multi-worker Chrome trace here (implies --trace)",
+    )
+    p_load.add_argument(
+        "--flight-out", default=None, metavar="PATH",
+        help="write the flight recorder payload here (what 'kamel tail' reads)",
+    )
+    p_load.add_argument(
+        "--flight-capacity", type=int, default=64, metavar="N",
+        help="slowest requests the flight recorder retains (default 64)",
+    )
+    p_load.add_argument(
         "--min-throughput", type=float, default=None, metavar="TPS",
         help="fail (exit 1) below this sustained throughput",
     )
@@ -1215,12 +1394,39 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_trc.add_argument("--output", "-o", default=None, help="write here instead of stdout")
     p_trc.add_argument(
+        "--trace-id", default=None, metavar="ID",
+        help="export only span trees carrying this request id "
+        "(e.g. an exemplar from 'kamel tail')",
+    )
+    p_trc.add_argument(
+        "--from", dest="from_file", default=None, metavar="PATH",
+        help="load span trees from a file (flight payload JSON or span "
+        "JSONL) instead of running a command",
+    )
+    p_trc.add_argument(
         "rest",
         nargs=argparse.REMAINDER,
         metavar="command ...",
         help="the kamel subcommand to run traced, e.g. -- compare --dataset porto",
     )
     p_trc.set_defaults(func=_cmd_trace)
+
+    p_tail = sub.add_parser(
+        "tail",
+        help="p50/p99 stage-attribution table from a flight recorder "
+        "(file or live /slow route)",
+    )
+    p_tail.add_argument(
+        "source",
+        help="flight payload: a JSON file (loadtest --flight-out) or a "
+        "pool URL, e.g. http://127.0.0.1:9101/slow",
+    )
+    p_tail.add_argument(
+        "--slowest", type=int, default=10, metavar="N",
+        help="slow-request rows to print (default 10)",
+    )
+    p_tail.add_argument("--json", action="store_true", help="print the raw payload")
+    p_tail.set_defaults(func=_cmd_tail)
 
     p_sts = sub.add_parser(
         "stats", help="summarize a metrics snapshot (from --metrics-out)"

@@ -33,7 +33,11 @@ Ten dependency-free modules:
 * :mod:`repro.obs.quality` — confidence calibration and spatial quality
   attribution: a :class:`ReliabilityLedger` (ECE + per-bin rows), a
   per-cell :class:`SpatialQualityMap`, and the :class:`QualityTracker`
-  feeding the ``calibration`` monitor and the ``/quality`` endpoint.
+  feeding the ``calibration`` monitor and the ``/quality`` endpoint;
+* :mod:`repro.obs.flight` — tail-latency attribution for the serving
+  tier: the five-stage per-request breakdown
+  (:func:`stage_breakdown`) and the slowest-N :class:`FlightRecorder`
+  behind the ``/slow`` route and ``kamel tail``.
 
 Quick look at what a run did::
 
@@ -62,9 +66,18 @@ from repro.obs.monitor import (
     RollingWindow,
     Threshold,
 )
+from repro.obs.flight import (
+    STAGES,
+    FlightRecord,
+    FlightRecorder,
+    get_flight_recorder,
+    set_flight_recorder,
+    stage_breakdown,
+)
 from repro.obs.tracing import (
     Span,
     clear_spans,
+    clock_offset,
     current_trace_id,
     disable_tracing,
     enable_tracing,
@@ -119,6 +132,8 @@ __all__ = [
     "Counter",
     "DistributionSketch",
     "DriftDetector",
+    "FlightRecord",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "LevelWindow",
@@ -133,18 +148,21 @@ __all__ = [
     "ReliabilityLedger",
     "RollingMonitor",
     "RollingWindow",
+    "STAGES",
     "Span",
     "SpatialQualityMap",
     "Stopwatch",
     "Threshold",
     "chrome_trace_json",
     "clear_spans",
+    "clock_offset",
     "collapsed_stacks",
     "configure_logging",
     "current_trace_id",
     "disable_tracing",
     "enable_tracing",
     "finished_spans",
+    "get_flight_recorder",
     "get_logger",
     "get_registry",
     "get_tracer",
@@ -155,9 +173,11 @@ __all__ = [
     "quality_report",
     "quality_state",
     "render_prometheus",
+    "set_flight_recorder",
     "set_registry",
     "smoothed_js_divergence",
     "span",
+    "stage_breakdown",
     "spans_to_chrome_trace",
     "spans_to_jsonl",
     "stopwatch",

@@ -238,14 +238,20 @@ def _span_args(span_obj: Span) -> dict[str, Any]:
     return args
 
 
-def spans_to_chrome_trace(roots: Optional[Iterable[Span]] = None) -> dict[str, Any]:
+def spans_to_chrome_trace(
+    roots: Optional[Iterable[Span]] = None,
+    thread_names: Optional[dict[int, str]] = None,
+) -> dict[str, Any]:
     """Finished span trees as a Chrome trace-event JSON document.
 
     Each span becomes one complete event (``ph: "X"``) with microsecond
     ``ts``/``dur``; parent/child nesting is preserved because a child's
     interval lies inside its parent's on the same ``tid`` lane (spans
     record the OS thread they ran on). Timestamps are rebased to the
-    earliest root so the trace starts at zero.
+    earliest root so the trace starts at zero. ``thread_names`` maps a
+    span ``thread_id`` to a human lane label (``thread_name`` metadata
+    events) — the serving pool names its synthetic per-shard lanes this
+    way in the merged multi-worker trace.
     """
     roots = finished_spans() if roots is None else list(roots)
     events: list[dict[str, Any]] = [
@@ -271,17 +277,43 @@ def spans_to_chrome_trace(roots: Optional[Iterable[Span]] = None) -> dict[str, A
             if args:
                 event["args"] = args
             events.append(event)
+    if thread_names:
+        for thread_id, label in sorted(thread_names.items()):
+            tid = tids.get(thread_id)
+            if tid is None:
+                continue
+            events.append(
+                {
+                    "ph": "M",
+                    "pid": 1,
+                    "tid": tid,
+                    "name": "thread_name",
+                    "args": {"name": str(label)},
+                }
+            )
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 
-def chrome_trace_json(roots: Optional[Iterable[Span]] = None, indent: int = 2) -> str:
-    return json.dumps(spans_to_chrome_trace(roots), indent=indent, default=str)
+def chrome_trace_json(
+    roots: Optional[Iterable[Span]] = None,
+    indent: int = 2,
+    thread_names: Optional[dict[int, str]] = None,
+) -> str:
+    return json.dumps(
+        spans_to_chrome_trace(roots, thread_names=thread_names),
+        indent=indent,
+        default=str,
+    )
 
 
-def write_chrome_trace(path, roots: Optional[Iterable[Span]] = None) -> None:
+def write_chrome_trace(
+    path,
+    roots: Optional[Iterable[Span]] = None,
+    thread_names: Optional[dict[int, str]] = None,
+) -> None:
     """Write a trace file loadable in Perfetto / ``chrome://tracing``."""
     with open(path, "w") as handle:
-        handle.write(chrome_trace_json(roots))
+        handle.write(chrome_trace_json(roots, thread_names=thread_names))
         handle.write("\n")
 
 

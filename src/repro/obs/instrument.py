@@ -135,6 +135,14 @@ METRIC_CATALOG: dict[str, str] = {
     "repro.serve.model_lru.misses_total": "Model-LRU cache misses in a worker (model parsed from the store).",
     "repro.serve.model_lru.evictions_total": "Models evicted from a worker's LRU after exceeding its capacity.",
     "repro.serve.model_lru.resident": "Models currently resident in a worker's LRU.",
+    "repro.serve.lost_total": "Trajectories declared lost when their shard was retired with no replacement worker (submitted, never to complete).",
+    "repro.serve.traced_requests_total": "Pooled trajectories whose worker span trees were shipped back and merged (tracing enabled).",
+    "repro.serve.spans_dropped_total": "Worker root spans not shipped with a result because the per-result span batch was full.",
+    "repro.serve.stage.queue_wait_seconds": "Per-request stage: submit to the worker dequeuing the task (shard queue wait).",
+    "repro.serve.stage.model_load_seconds": "Per-request stage: parsing models out of the store on LRU misses (0 unless tracing ships the serve.model_load spans).",
+    "repro.serve.stage.inference_seconds": "Per-request stage: imputation work proper — worker processing time not attributed to model loading or detokenization.",
+    "repro.serve.stage.detokenize_seconds": "Per-request stage: mapping imputed tokens back to coordinates (0 unless tracing ships the detokenize spans).",
+    "repro.serve.stage.result_transit_seconds": "Per-request stage: worker processing done to the pool accepting the result (serialization, the result pipe, pump backlog).",
     # -- resilience layer (repro.resilience) -------------------------------
     "repro.resilience.deadline_exceeded_total": "Segment/trajectory deadlines that expired mid-imputation.",
     "repro.resilience.rung_errors_total": "Ladder rungs abandoned after an unexpected (infrastructure) error.",

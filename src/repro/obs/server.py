@@ -15,7 +15,11 @@ thread, stdlib ``http.server`` only:
   rows), and the worst spatial cells (see :mod:`repro.obs.quality`);
 * ``GET /spans``    — collected span trees as Chrome trace-event JSON
   (save the response and load it in Perfetto), or ``?format=jsonl`` for
-  the line-oriented form.
+  the line-oriented form;
+* ``GET /slow``     — the process-default flight recorder
+  (:func:`repro.obs.flight.get_flight_recorder`): per-stage latency
+  attribution with exemplar trace ids plus the slowest-N requests'
+  retained span trees (what ``kamel tail`` renders).
 
 The server binds ``127.0.0.1`` by default (telemetry is not
 authenticated; bind a public interface only behind something that is)
@@ -116,10 +120,15 @@ class _Handler(BaseHTTPRequestHandler):
                 self._respond(
                     200, chrome_trace_json(roots), "application/json; charset=utf-8"
                 )
+        elif route == "/slow":
+            from repro.obs.flight import get_flight_recorder
+
+            body = json.dumps(get_flight_recorder().to_dict(), default=float)
+            self._respond(200, body, "application/json; charset=utf-8")
         else:
             self._respond(
                 404,
-                "not found: try /metrics, /healthz, /quality, /spans\n",
+                "not found: try /metrics, /healthz, /quality, /spans, /slow\n",
                 "text/plain",
             )
 

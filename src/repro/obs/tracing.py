@@ -16,6 +16,14 @@ Spans nest per-thread (a thread-local stack), exception-safely: a span
 that exits through an exception is closed, marked with the exception
 type, and re-raises.
 
+**Wire format.** :meth:`Span.to_dict` / :meth:`Span.from_dict` round-trip
+a whole tree through plain JSON-able dicts, so serving workers can ship
+their span trees to the pool over the result pipe. Timestamps are
+``time.perf_counter`` values, which are *process-local*: a tree arriving
+from another process must be rebased with :meth:`Span.shift` using the
+difference of the two processes' :func:`clock_offset` anchors before it
+can share a timeline (a merged Chrome trace) with local spans.
+
 **Trace IDs** tie one request's telemetry together: entry points
 (``Kamel.impute``, ``StreamingImputationService.process``, the eval
 harness) open a :func:`trace_scope`, and every span opened — and every
@@ -36,6 +44,7 @@ from typing import Any, Iterator, Optional
 __all__ = [
     "Span",
     "Tracer",
+    "clock_offset",
     "get_tracer",
     "span",
     "enable_tracing",
@@ -47,6 +56,20 @@ __all__ = [
     "current_trace_id",
     "trace_scope",
 ]
+
+
+def clock_offset() -> float:
+    """This process's epoch-to-perf_counter anchor.
+
+    ``time.time() - time.perf_counter()``, sampled back to back. Two
+    processes on the same machine share the epoch clock, so a span tree
+    shipped from process W rebases into process P's perf_counter timebase
+    by shifting it ``clock_offset_W - clock_offset_P`` (see
+    :meth:`Span.shift`). Sub-millisecond accurate — the two reads are a
+    few hundred nanoseconds apart — which is plenty for aligning
+    cross-process request timelines.
+    """
+    return time.time() - time.perf_counter()
 
 
 def new_trace_id() -> str:
@@ -117,9 +140,16 @@ class Span:
         return [s for s in self.walk() if s.name == name]
 
     def to_dict(self) -> dict:
+        """A JSON-able tree. Round-trips through :meth:`from_dict`:
+        ``start_s``/``end_s`` (process-local perf_counter values) and the
+        recording thread id ride along so a reconstructed tree keeps its
+        timeline and lane assignment."""
         out: dict[str, Any] = {
             "name": self.name,
             "duration_s": self.duration_s,
+            "start_s": self.start_s,
+            "end_s": self.end_s,
+            "thread_id": self.thread_id,
         }
         if self.cpu_s is not None:
             out["cpu_s"] = self.cpu_s
@@ -132,6 +162,47 @@ class Span:
         if self.children:
             out["children"] = [c.to_dict() for c in self.children]
         return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Span":
+        """Rebuild a span tree from :meth:`to_dict` output.
+
+        Tolerates minimal dicts (only ``name``): missing timestamps
+        reconstruct as a zero-length span at origin 0, so old exports
+        stay loadable. The rebuilt span is *finished* — it never joins a
+        live tracer stack.
+        """
+        span_obj = cls.__new__(cls)
+        span_obj.name = data["name"]
+        span_obj.attributes = dict(data.get("attributes") or {})
+        span_obj.start_s = float(data.get("start_s") or 0.0)
+        end_s = data.get("end_s")
+        if end_s is None:
+            duration = data.get("duration_s")
+            end_s = span_obj.start_s + (float(duration) if duration else 0.0)
+        span_obj.end_s = float(end_s)
+        span_obj.error = data.get("error")
+        span_obj.trace_id = data.get("trace_id")
+        span_obj.thread_id = int(data.get("thread_id") or 0)
+        cpu_s = data.get("cpu_s")
+        span_obj.cpu_start_s = 0.0 if cpu_s is not None else None
+        span_obj.cpu_end_s = float(cpu_s) if cpu_s is not None else None
+        span_obj.children = [cls.from_dict(c) for c in data.get("children") or []]
+        return span_obj
+
+    def shift(self, offset_s: float) -> "Span":
+        """Shift this tree's timeline by ``offset_s`` seconds, in place.
+
+        The cross-process alignment primitive: a tree shipped from
+        another process moves into the local perf_counter timebase with
+        ``tree.shift(remote_clock_offset - clock_offset())``. Durations
+        are unchanged. Returns the span (chainable).
+        """
+        for span_obj in self.walk():
+            span_obj.start_s += offset_s
+            if span_obj.end_s is not None:
+                span_obj.end_s += offset_s
+        return self
 
     def render(self, indent: int = 0) -> str:
         """A flame-graph-ish text rendering of the subtree."""

@@ -16,10 +16,20 @@ of the pyramid, behind a deterministic router.
   protocol and the parent-side pool: spawn, route, dedupe,
   detect-death-and-respawn with per-shard journal replay.
 * :mod:`repro.serve.aggregate` — fleet-wide ``/metrics`` + ``/healthz``
-  from merged per-worker registries.
+  from merged per-worker registries, plus ``/slow`` — the pool's
+  slow-request flight recorder (:mod:`repro.obs.flight`).
 * :mod:`repro.serve.loadtest` — ``kamel loadtest``: synthetic traffic,
   p50/p99 latency, sustained throughput, bit-for-bit verification
-  against the single-process baseline, schema-v2 bench snapshots.
+  against the single-process baseline, schema-v2 bench snapshots, and
+  (``--trace-out``) the merged multi-worker Chrome trace with
+  per-request stage attribution.
+
+Every request is traced end to end when ``ServeConfig.trace`` is on:
+the pool stamps a trace id at submit, workers record span trees inside
+``trace_scope(trace_id)`` and ship them back clock-aligned, and the
+five-stage latency breakdown (queue wait, model load, inference,
+detokenize, result transit) feeds ``repro.serve.stage.*`` histograms
+and ``kamel tail``. See docs/serving.md and docs/observability.md.
 """
 
 from repro.serve.loadtest import LoadtestConfig, LoadtestReport, run_loadtest

@@ -11,7 +11,10 @@ per-shard load split.
 
 :class:`PoolMetricsServer` hangs that exposition plus the pool's
 aggregated health document on ``/metrics`` and ``/healthz``, same
-stdlib-only shape as :class:`~repro.obs.server.ObservabilityServer`.
+stdlib-only shape as :class:`~repro.obs.server.ObservabilityServer` —
+plus ``/slow``, the pool's :class:`~repro.obs.flight.FlightRecorder`
+payload: per-stage p50/p99 attribution with exemplar trace ids and the
+slowest-N requests' full span trees (see ``kamel tail``).
 """
 
 from __future__ import annotations
@@ -88,8 +91,15 @@ class _Handler(BaseHTTPRequestHandler):
         elif route == "/healthz":
             body = json.dumps(self.server.pool.healthz(), default=float)
             self._respond(200, body, "application/json; charset=utf-8")
+        elif route == "/slow":
+            recorder = getattr(self.server.pool, "flight", None)
+            payload = recorder.to_dict() if recorder is not None else {}
+            body = json.dumps(payload, default=float)
+            self._respond(200, body, "application/json; charset=utf-8")
         else:
-            self._respond(404, "not found: try /metrics, /healthz\n", "text/plain")
+            self._respond(
+                404, "not found: try /metrics, /healthz, /slow\n", "text/plain"
+            )
 
 
 class _PoolHTTPServer(ThreadingHTTPServer):

@@ -24,6 +24,7 @@ run on); latency percentiles include queueing delay by design.
 
 from __future__ import annotations
 
+import json
 import pathlib
 import tempfile
 import time
@@ -37,6 +38,7 @@ from repro.errors import ConfigError
 from repro.geo import Trajectory
 from repro.io.serialize import load_kamel, save_kamel
 from repro.obs import instrument as obs
+from repro.obs.export import write_chrome_trace
 from repro.obs.logging import get_logger
 from repro.obs.metrics import get_registry
 from repro.resilience.journal import trajectory_to_payload
@@ -74,6 +76,16 @@ class LoadtestConfig:
     kill_worker_after: Optional[int] = None
     """Chaos: shard 0 dies on its Nth task (exercises journal replay)."""
     journal: bool = True
+    trace: bool = False
+    """Workers ship span trees; the pool merges them (``trace_out``)."""
+    trace_out: Optional[str] = None
+    """Write the merged multi-worker Chrome trace here (implies nothing
+    by itself — set ``trace`` too; the CLI couples them)."""
+    flight_out: Optional[str] = None
+    """Write the flight recorder's ``/slow`` payload (JSON) here — the
+    file ``kamel tail`` reads offline."""
+    flight_capacity: int = 64
+    """Slowest requests the pool's flight recorder retains."""
 
     def __post_init__(self) -> None:
         if self.trajectories < 1:
@@ -113,6 +125,13 @@ class LoadtestReport:
     single_wall_s: Optional[float] = None
     single_throughput_tps: Optional[float] = None
     speedup_vs_single: Optional[float] = None
+    stages: dict[str, dict] = field(default_factory=dict)
+    """Per-stage attribution (count/mean/p50/p99/max + exemplar trace
+    id), from the pool's flight recorder."""
+    traced_requests: int = 0
+    """Results that arrived with worker span trees attached."""
+    trace_out: Optional[str] = None
+    flight_out: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -145,6 +164,11 @@ class LoadtestReport:
         }
         for rung, count in sorted(self.rungs.items()):
             metrics[f"repro.serve.rung.{rung}"] = float(count)
+        for stage, row in sorted(self.stages.items()):
+            if row.get("p99") is not None:
+                metrics[f"repro.serve.stage.{stage}_p99_ms"] = (
+                    float(row["p99"]) * 1000.0
+                )
         if self.single_throughput_tps is not None:
             metrics["repro.serve.single_throughput_tps"] = self.single_throughput_tps
         if self.speedup_vs_single is not None:
@@ -241,6 +265,8 @@ def run_loadtest(
             journal_dir=journal_dir,
             crash_worker_after=config.kill_worker_after,
             chaos_seed=config.seed,
+            trace=config.trace,
+            flight_capacity=config.flight_capacity,
         )
         # A fresh latency window per run: the serve metrics may carry
         # state from an earlier run in this process (tests, repeats).
@@ -284,7 +310,28 @@ def run_loadtest(
             worker_deaths=pool.stats.worker_deaths,
             journal_replayed=pool.stats.journal_replayed,
             worker_errors=pool.stats.errors,
+            stages=pool.flight.stage_summary(),
+            traced_requests=int(
+                obs.counter("repro.serve.traced_requests_total").value
+            ),
         )
+        if config.trace_out:
+            write_chrome_trace(
+                config.trace_out, pool.trace_roots, thread_names=pool.trace_lanes
+            )
+            report.trace_out = str(config.trace_out)
+            _log.info(
+                "merged chrome trace written",
+                extra={"data": {
+                    "path": str(config.trace_out),
+                    "requests": len(pool.trace_roots),
+                }},
+            )
+        if config.flight_out:
+            pathlib.Path(config.flight_out).write_text(
+                json.dumps(pool.flight.to_dict(), indent=2, default=float) + "\n"
+            )
+            report.flight_out = str(config.flight_out)
         if baseline is not None:
             report.verified = True
             report.mismatches = _count_mismatches(baseline, results)

@@ -27,6 +27,7 @@ from repro.core.kamel import Kamel
 from repro.io.serialize import ModelStore, load_kamel
 from repro.mlm.base import MaskedModel, TokenProb
 from repro.obs import instrument as obs
+from repro.obs.tracing import span
 
 __all__ = ["DEFAULT_LRU_CAPACITY", "LazyModel", "ModelLRU", "load_kamel_lazy"]
 
@@ -62,7 +63,8 @@ class ModelLRU:
             return model
         self.misses += 1
         obs.count("repro.serve.model_lru.misses_total")
-        model = self.store.load(file_name)
+        with span("serve.model_load", model=file_name):
+            model = self.store.load(file_name)
         self._cache[file_name] = model
         while len(self._cache) > self.capacity:
             self._cache.popitem(last=False)

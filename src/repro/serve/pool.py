@@ -21,6 +21,20 @@ snapshots arriving on the result queue are merged
 ``repro.serve.*`` metrics into one ``/metrics`` view, served by
 :class:`~repro.serve.aggregate.PoolMetricsServer` when
 ``metrics_port`` is set.
+
+Every request is additionally **attributed**: ``submit`` stamps each
+task envelope with a fresh trace id and the submit wall clock, the
+worker reports when it dequeued the task and how long it processed, and
+``_handle_result`` derives the five-stage latency breakdown
+(:func:`~repro.obs.flight.stage_breakdown`) — feeding the
+``repro.serve.stage.*`` histograms and the slowest-N
+:class:`~repro.obs.flight.FlightRecorder` behind ``/slow`` and
+``kamel tail``. With ``ServeConfig.trace`` on, workers also ship their
+span trees; the pool rebases each tree onto its own timeline
+(:func:`~repro.obs.tracing.clock_offset` difference), grafts it under a
+synthetic ``serve.request`` root bracketed by ``serve.queue_wait`` and
+``serve.result_transit`` spans, and keeps the merged roots in
+``trace_roots`` for a fleet-wide Chrome trace (one lane per shard).
 """
 
 from __future__ import annotations
@@ -38,8 +52,10 @@ from repro.core.tokenization import make_grid
 from repro.errors import ConfigError
 from repro.geo import BoundingBox, Trajectory
 from repro.obs import instrument as obs
+from repro.obs.flight import FlightRecord, FlightRecorder, stage_breakdown
 from repro.obs.logging import get_logger
 from repro.obs.metrics import get_registry, merge_snapshots
+from repro.obs.tracing import Span, clock_offset, new_trace_id
 from repro.serve.strategies import PartitionStrategy, make_strategy
 from repro.serve.worker import WorkerSpec, worker_main
 
@@ -113,6 +129,18 @@ class ServeConfig:
     chaos_seed: int = 0
     trip_gap_s: float = 600.0
     max_speed_mps: float = 60.0
+    trace: bool = False
+    """Workers collect span trees and ship them with every result; the
+    pool merges them (clock-aligned) into ``trace_roots``. Stage
+    attribution and the flight recorder work with this off — only the
+    span trees need it."""
+    trace_max_roots: int = 1000
+    """Bound on both the worker tracer's root buffer and the pool's
+    merged ``trace_roots``."""
+    span_batch: int = 64
+    """Root spans a worker ships per result (overflow dropped+counted)."""
+    flight_capacity: int = 32
+    """Slowest requests the pool's flight recorder retains."""
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -135,12 +163,27 @@ class PoolStats:
     failed_segments: int = 0
     degraded_segments: int = 0
     model_calls: int = 0
+    declared_lost: int = 0
+    """Trajectories explicitly written off when their shard was retired
+    with no replacement worker."""
     rungs: dict[str, int] = field(default_factory=dict)
 
     @property
     def lost(self) -> int:
         """Submitted trajectories never accounted for (should be 0)."""
         return max(0, self.submitted - self.completed)
+
+
+@dataclass(frozen=True)
+class _Pending:
+    """What the pool remembers about one in-flight trajectory."""
+
+    shard: int
+    submitted_pc: float
+    """Submit time on this process's perf_counter clock (latency base)."""
+    trace_id: str
+    submit_epoch: float
+    """Submit wall clock (the cross-process queue-wait base)."""
 
 
 def _routing_context(
@@ -211,10 +254,19 @@ class ServingPool:
         self._revives: dict[int, int] = {}
         self._incarnations = 0
         self._byes: set[int] = set()
-        self._outstanding: dict[str, tuple[int, float]] = {}
+        self._outstanding: dict[str, _Pending] = {}
         self._started = False
         self._stopping = False
         self.metrics_server = None
+        self._clock_offset = clock_offset()
+        self.flight = FlightRecorder(
+            capacity=self.config.flight_capacity, registry=get_registry()
+        )
+        self.trace_roots: list[Span] = []
+        """Merged, clock-aligned ``serve.request`` trees (tracing on),
+        one Chrome-trace lane per shard; bounded by ``trace_max_roots``."""
+        self.trace_lanes: dict[int, str] = {}
+        """Synthetic thread id -> lane name for the merged trace."""
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -259,6 +311,9 @@ class ServingPool:
             metrics_every=self.config.metrics_every,
             trip_gap_s=self.config.trip_gap_s,
             max_speed_mps=self.config.max_speed_mps,
+            trace=self.config.trace,
+            trace_max_roots=self.config.trace_max_roots,
+            span_batch=self.config.span_batch,
         )
 
     def _spawn(self, shard: int, recover: bool) -> None:
@@ -282,15 +337,32 @@ class ServingPool:
     # -- submission & draining ---------------------------------------------
 
     def submit(self, trajectory: Trajectory) -> int:
-        """Route one trajectory to its shard; returns the shard index."""
+        """Route one trajectory to its shard; returns the shard index.
+
+        The task goes out as an envelope carrying a fresh trace id and
+        the submit wall clock, so the worker can join the request's
+        trace and the pool can later split queue wait from processing.
+        """
         if not self._started:
             raise ConfigError("pool not started (use start() or a with-block)")
         shard = self.strategy.shard_for(trajectory)
-        self._outstanding[trajectory.traj_id] = (shard, time.perf_counter())
+        trace_id = new_trace_id()
+        self._outstanding[trajectory.traj_id] = _Pending(
+            shard=shard,
+            submitted_pc=time.perf_counter(),
+            trace_id=trace_id,
+            submit_epoch=time.time(),
+        )
         self.stats.submitted += 1
         obs.count("repro.serve.submitted_total")
         obs.gauge("repro.serve.queue_depth").set(len(self._outstanding))
-        self._task_queues[shard].put(trajectory)
+        self._task_queues[shard].put(
+            {
+                "trajectory": trajectory,
+                "trace_id": trace_id,
+                "submit_epoch": self._outstanding[trajectory.traj_id].submit_epoch,
+            }
+        )
         self._pump(0.0)
         return shard
 
@@ -378,14 +450,15 @@ class ServingPool:
             obs.count("repro.serve.duplicate_results_total")
             self._outstanding.pop(traj_id, None)
             return
+        handle_epoch = time.time()
         self.results[traj_id] = message
         self.stats.completed += 1
         obs.count("repro.serve.results_total")
-        info = self._outstanding.pop(traj_id, None)
-        if info is not None:
-            obs.observe(
-                "repro.serve.latency_seconds", time.perf_counter() - info[1]
-            )
+        pending = self._outstanding.pop(traj_id, None)
+        latency_s = None
+        if pending is not None:
+            latency_s = time.perf_counter() - pending.submitted_pc
+            obs.observe("repro.serve.latency_seconds", latency_s)
         obs.gauge("repro.serve.queue_depth").set(len(self._outstanding))
         shard = message["shard"]
         self.worker_processed[shard] = self.worker_processed.get(shard, 0) + 1
@@ -402,6 +475,109 @@ class ServingPool:
         self.stats.model_calls += message.get("model_calls", 0)
         for rung, count in message.get("rungs", {}).items():
             self.stats.rungs[rung] = self.stats.rungs.get(rung, 0) + count
+        if pending is not None and latency_s is not None:
+            self._attribute(message, pending, latency_s, handle_epoch)
+
+    # -- tail-latency attribution -------------------------------------------
+
+    def _attribute(
+        self,
+        message: dict,
+        pending: _Pending,
+        latency_s: float,
+        handle_epoch: float,
+    ) -> None:
+        """Derive the request's stage breakdown, feed the flight recorder,
+        and (tracing on) merge the shipped span tree into ``trace_roots``."""
+        process_s = float(message.get("process_s") or 0.0)
+        start_epoch = message.get("start_epoch")
+        if start_epoch is None:
+            # A worker that never reported its dequeue time: the best
+            # split available is processing vs everything-else.
+            queue_wait = 0.0
+            transit = latency_s - process_s
+        else:
+            queue_wait = start_epoch - pending.submit_epoch
+            transit = handle_epoch - start_epoch - process_s
+        roots: list[Span] = []
+        if message.get("spans"):
+            offset = float(message.get("clock_offset") or 0.0) - self._clock_offset
+            roots = [Span.from_dict(d).shift(offset) for d in message["spans"]]
+            obs.count("repro.serve.traced_requests_total")
+        record = FlightRecord(
+            trace_id=message.get("trace_id") or pending.trace_id,
+            traj_id=message["traj_id"],
+            latency_s=latency_s,
+            stages=stage_breakdown(process_s, queue_wait, transit, roots),
+            shard=pending.shard,
+            worker_id=message.get("worker_id"),
+            replayed=bool(message.get("replayed")),
+            error=message.get("error"),
+            context={
+                "strategy": self.strategy.name,
+                "trips": len(message.get("trips", ())),
+                "segments": message.get("segments", 0),
+                "model_calls": message.get("model_calls", 0),
+                "rungs": dict(message.get("rungs", {})),
+            },
+        )
+        if roots:
+            request_root = self._request_tree(
+                record, pending, roots, process_s, start_epoch, handle_epoch
+            )
+            record.roots = [request_root]
+            self.trace_roots.append(request_root)
+            if len(self.trace_roots) > self.config.trace_max_roots:
+                del self.trace_roots[
+                    : len(self.trace_roots) - self.config.trace_max_roots
+                ]
+        self.flight.record(record)
+
+    def _request_tree(
+        self,
+        record: FlightRecord,
+        pending: _Pending,
+        roots: list[Span],
+        process_s: float,
+        start_epoch: Optional[float],
+        handle_epoch: float,
+    ) -> Span:
+        """Graft the worker's (rebased) span trees under one synthetic
+        ``serve.request`` root spanning submit-to-result, with synthetic
+        ``serve.queue_wait`` / ``serve.result_transit`` brackets. The
+        whole tree lands on one lane per shard in the merged trace."""
+        lane = pending.shard + 1
+        self.trace_lanes.setdefault(lane, f"shard {pending.shard}")
+        submit_pc = pending.submit_epoch - self._clock_offset
+        handle_pc = handle_epoch - self._clock_offset
+        request = Span(
+            "serve.request",
+            {
+                "traj_id": record.traj_id,
+                "shard": pending.shard,
+                "worker_id": record.worker_id,
+                "replayed": record.replayed,
+            },
+            trace_id=record.trace_id,
+        )
+        request.start_s = submit_pc
+        request.end_s = max(submit_pc, handle_pc)
+        if start_epoch is not None:
+            start_pc = start_epoch - self._clock_offset
+            wait = Span("serve.queue_wait", trace_id=record.trace_id)
+            wait.start_s = submit_pc
+            wait.end_s = max(submit_pc, start_pc)
+            request.children.append(wait)
+            request.children.extend(roots)
+            transit = Span("serve.result_transit", trace_id=record.trace_id)
+            transit.end_s = handle_pc
+            transit.start_s = min(max(submit_pc, start_pc + process_s), handle_pc)
+            request.children.append(transit)
+        else:
+            request.children.extend(roots)
+        for span_obj in request.walk():
+            span_obj.thread_id = lane
+        return request
 
     # -- worker liveness ---------------------------------------------------
 
@@ -432,6 +608,38 @@ class ServingPool:
                 self._spawn(shard, recover=True)
             else:
                 self._byes.add(shard)
+                self._declare_lost(shard)
+
+    def _declare_lost(self, shard: int) -> None:
+        """Write off a retired shard's in-flight work.
+
+        No worker will ever drain this shard's queue again, so its
+        outstanding trajectories can't complete: drop them from the
+        in-flight map (so ``queue_depth`` and ``drain()`` reflect
+        reality instead of waiting out the timeout) and count them.
+        A straggler result already in the pipe is still accepted by
+        ``_handle_result`` — it just no longer has a pending entry.
+        """
+        lost = [
+            traj_id
+            for traj_id, pending in self._outstanding.items()
+            if pending.shard == shard
+        ]
+        if not lost:
+            return
+        for traj_id in lost:
+            del self._outstanding[traj_id]
+        self.stats.declared_lost += len(lost)
+        obs.count("repro.serve.lost_total", len(lost))
+        obs.gauge("repro.serve.queue_depth").set(len(self._outstanding))
+        _log.error(
+            "shard retired with in-flight work; declaring it lost",
+            extra={"data": {
+                "shard": shard,
+                "lost": len(lost),
+                "ids": sorted(lost)[:10],
+            }},
+        )
 
     # -- shutdown ----------------------------------------------------------
 
@@ -481,8 +689,10 @@ class ServingPool:
     def healthz(self) -> dict:
         """The aggregated health document behind ``/healthz``."""
         per_shard_outstanding: dict[int, int] = {}
-        for shard, _ in self._outstanding.values():
-            per_shard_outstanding[shard] = per_shard_outstanding.get(shard, 0) + 1
+        for pending in self._outstanding.values():
+            per_shard_outstanding[pending.shard] = (
+                per_shard_outstanding.get(pending.shard, 0) + 1
+            )
         workers = []
         for shard in sorted(self._procs):
             proc = self._procs[shard]
@@ -505,5 +715,6 @@ class ServingPool:
             "duplicates": self.stats.duplicates,
             "worker_deaths": self.stats.worker_deaths,
             "journal_replayed": self.stats.journal_replayed,
+            "declared_lost": self.stats.declared_lost,
             "workers": workers,
         }

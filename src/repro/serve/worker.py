@@ -19,6 +19,17 @@ Everything the worker measures lands in its own process-local
 :class:`~repro.obs.metrics.MetricsRegistry`; snapshots ride the result
 queue (periodically and in the final ``bye`` message) for the pool to
 merge into the fleet-wide ``/metrics`` view.
+
+With tracing on (``WorkerSpec.trace``), the worker also ships each
+request's span trees: tasks arrive as envelopes carrying the pool's
+``trace_id`` and submit timestamp, the worker processes inside
+``trace_scope(trace_id)``, and the result message adds the serialized
+trees (bounded by ``span_batch``; overflow counts
+``repro.serve.spans_dropped_total``) plus this process's
+:func:`~repro.obs.tracing.clock_offset` so the pool can rebase them onto
+its own timeline. The worker's ``start_epoch`` (wall clock at dequeue)
+always rides along — it is what splits queue wait from processing from
+result transit, tracing or not.
 """
 
 from __future__ import annotations
@@ -33,6 +44,15 @@ from repro.geo import Trajectory
 from repro.obs import instrument as obs
 from repro.obs.logging import get_logger
 from repro.obs.metrics import get_registry
+from repro.obs.tracing import (
+    clear_spans,
+    clock_offset,
+    enable_tracing,
+    finished_spans,
+    get_tracer,
+    trace_scope,
+    tracing_enabled,
+)
 from repro.resilience.chaos import ChaosConfig, ChaosMonkey, InjectedCrash
 from repro.resilience.journal import StreamJournal, trajectory_to_payload
 from repro.serve.modelstore import DEFAULT_LRU_CAPACITY, load_kamel_lazy
@@ -67,6 +87,12 @@ class WorkerSpec:
     """Ship a registry snapshot to the pool every this many tasks."""
     trip_gap_s: float = 600.0
     max_speed_mps: float = 60.0
+    trace: bool = False
+    """Collect span trees and ship them back with each result."""
+    trace_max_roots: int = 1000
+    """Bound on the worker tracer's finished-root buffer."""
+    span_batch: int = 64
+    """Root spans shipped per result; overflow is dropped (and counted)."""
 
     def journal_path(self) -> Optional[str]:
         if self.journal_dir is None:
@@ -98,6 +124,7 @@ def _process_one(
     result_queue,
     trajectory: Trajectory,
     replayed: bool,
+    trace_id: Optional[str] = None,
 ) -> None:
     """Impute one trajectory and deliver its result (at-least-once).
 
@@ -106,7 +133,13 @@ def _process_one(
     which the pool's dedupe absorbs — the safe side of the fence.
     """
     quarantined_before = service.stats.quarantined
+    start_epoch = time.time()
     started = time.perf_counter()
+    tracing = tracing_enabled()
+    if tracing:
+        # One request, one batch of roots: anything finished before this
+        # task belongs to a result already shipped (or to startup).
+        clear_spans()
     message = {
         "kind": "result",
         "shard": spec.shard,
@@ -114,9 +147,12 @@ def _process_one(
         "traj_id": trajectory.traj_id,
         "replayed": replayed,
         "error": None,
+        "start_epoch": start_epoch,
     }
     try:
-        results = service.process(trajectory)
+        with trace_scope(trace_id) as active_id:
+            message["trace_id"] = active_id
+            results = service.process(trajectory)
         rungs: dict[str, int] = {}
         for result in results:
             for rung, count in result.rung_counts.items():
@@ -151,14 +187,35 @@ def _process_one(
             }
         )
     message["process_s"] = time.perf_counter() - started
+    if tracing:
+        roots = finished_spans()
+        if len(roots) > spec.span_batch:
+            obs.count(
+                "repro.serve.spans_dropped_total", len(roots) - spec.span_batch
+            )
+            roots = roots[: spec.span_batch]
+        message["spans"] = [root.to_dict() for root in roots]
+        message["clock_offset"] = clock_offset()
+        clear_spans()
     result_queue.put(message)
     obs.count("repro.serve.worker.trajectories_total")
     if journal is not None:
         journal.done(trajectory.traj_id)
 
 
+def _unpack_task(task) -> tuple[Trajectory, Optional[str]]:
+    """A task is either an envelope dict or a bare trajectory (journal
+    replay, older producers). Returns ``(trajectory, trace_id)``."""
+    if isinstance(task, dict):
+        return task["trajectory"], task.get("trace_id")
+    return task, None
+
+
 def worker_main(spec: WorkerSpec, task_queue, result_queue) -> None:
     """Entry point of one worker process (target of ``Process``)."""
+    if spec.trace:
+        get_tracer().max_roots = spec.trace_max_roots
+        enable_tracing()
     system, cache = load_kamel_lazy(spec.model_dir, lru_capacity=spec.lru_capacity)
     # The worker journals at loop level (so delivery is part of the
     # transaction); the inner service runs journal-less.
@@ -192,9 +249,10 @@ def worker_main(spec: WorkerSpec, task_queue, result_queue) -> None:
             processed += 1
 
     while True:
-        trajectory = task_queue.get()
-        if trajectory is None:
+        task = task_queue.get()
+        if task is None:
             break
+        trajectory, trace_id = _unpack_task(task)
         if journal is not None:
             journal.begin(trajectory)
         if monkey is not None:
@@ -207,7 +265,9 @@ def worker_main(spec: WorkerSpec, task_queue, result_queue) -> None:
                 # goodbye message, no cleanup, no atexit — the pool must
                 # notice the dead process via is_alive() and respawn.
                 os._exit(CRASH_EXIT_CODE)
-        _process_one(spec, service, journal, result_queue, trajectory, False)
+        _process_one(
+            spec, service, journal, result_queue, trajectory, False, trace_id
+        )
         processed += 1
         if spec.metrics_every and processed % spec.metrics_every == 0:
             result_queue.put(_snapshot_message(spec, processed))

@@ -107,6 +107,32 @@ class TestSpansRoute:
         assert json.loads(body.strip())["name"] == "root"
 
 
+class TestSlowRoute:
+    def test_serves_the_default_flight_recorder(self, server):
+        from repro.obs.flight import FlightRecord, FlightRecorder, set_flight_recorder
+
+        recorder = FlightRecorder(capacity=4)
+        recorder.record(
+            FlightRecord(
+                trace_id="a" * 16,
+                traj_id="traj-slow",
+                latency_s=1.25,
+                stages={"queue_wait": 1.0, "inference": 0.25},
+            )
+        )
+        previous = set_flight_recorder(recorder)
+        try:
+            status, content_type, body = _get(server.url + "/slow")
+        finally:
+            set_flight_recorder(previous)
+        assert status == 200
+        assert content_type.startswith("application/json")
+        payload = json.loads(body)
+        assert payload["recorded_total"] == 1
+        assert payload["slowest"][0]["traj_id"] == "traj-slow"
+        assert payload["slowest"][0]["dominant_stage"] == "queue_wait"
+
+
 class TestLifecycle:
     def test_unknown_route_404s(self, server):
         with pytest.raises(urllib.error.HTTPError) as excinfo:

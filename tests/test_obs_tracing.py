@@ -1,10 +1,15 @@
-"""Unit tests for repro.obs.tracing: nesting, exceptions, no-op mode."""
+"""Unit tests for repro.obs.tracing: nesting, exceptions, no-op mode,
+and the cross-process wire format (to_dict/from_dict/shift)."""
+
+import time
 
 import pytest
 
 from repro.obs.tracing import (
+    Span,
     Tracer,
     clear_spans,
+    clock_offset,
     current_trace_id,
     disable_tracing,
     enable_tracing,
@@ -192,6 +197,62 @@ class TestTraceScope:
                 pass
         (root,) = finished_spans()
         assert root.to_dict()["trace_id"] == "0011223344556677"
+
+
+class TestWireFormat:
+    """Serialized span trees must survive a queue hop between processes."""
+
+    def _tree(self, traced):
+        with trace_scope("feedfacefeedface"):
+            with span("root", shard=3) as root:
+                with span("child") as child:
+                    child.set(n=1)
+        return root
+
+    def test_round_trip_preserves_the_tree(self, traced):
+        root = self._tree(traced)
+        clone = Span.from_dict(root.to_dict())
+        assert [s.name for s in clone.walk()] == [s.name for s in root.walk()]
+        assert clone.attributes == {"shard": 3}
+        assert clone.children[0].attributes == {"n": 1}
+        assert clone.trace_id == "feedfacefeedface"
+        assert clone.children[0].trace_id == "feedfacefeedface"
+        assert clone.start_s == pytest.approx(root.start_s)
+        assert clone.end_s == pytest.approx(root.end_s)
+        assert clone.duration_s == pytest.approx(root.duration_s)
+
+    def test_round_trip_preserves_error(self, traced):
+        with pytest.raises(ValueError):
+            with span("boom"):
+                raise ValueError("x")
+        (root,) = finished_spans()
+        assert Span.from_dict(root.to_dict()).error == "ValueError"
+
+    def test_from_dict_tolerates_minimal_payload(self):
+        # Old exports carried only names: reconstruct as a finished
+        # zero-length span at origin 0 rather than refusing to load.
+        clone = Span.from_dict({"name": "bare"})
+        assert clone.name == "bare"
+        assert clone.children == []
+        assert clone.trace_id is None
+        assert clone.start_s == 0.0
+        assert clone.duration_s == 0.0
+
+    def test_shift_rebases_the_whole_tree(self, traced):
+        root = self._tree(traced)
+        child_start = root.children[0].start_s
+        duration = root.duration_s
+        assert root.shift(5.0) is root, "shift chains for rebuild pipelines"
+        assert root.children[0].start_s == pytest.approx(child_start + 5.0)
+        assert root.duration_s == pytest.approx(duration), (
+            "rebasing a tree onto another clock must not change durations"
+        )
+
+    def test_clock_offset_maps_perf_counter_to_epoch(self):
+        offset = clock_offset()
+        assert abs((time.perf_counter() + offset) - time.time()) < 0.1
+        # Stable within a process: two reads agree to well under a tick.
+        assert clock_offset() == pytest.approx(offset, abs=0.01)
 
 
 class TestNoopMode:

@@ -90,6 +90,10 @@ class TestLoadtestParser:
         assert args.trajectories == 200
         assert args.rate == 0.0
         assert not args.no_verify
+        assert not args.trace
+        assert args.trace_out is None
+        assert args.flight_out is None
+        assert args.flight_capacity == 64
 
     def test_assertion_flags(self):
         args = build_parser().parse_args(
@@ -97,6 +101,13 @@ class TestLoadtestParser:
         )
         assert args.min_throughput == 1.5
         assert args.max_p99_ms == 5000.0
+
+    def test_tracing_flags(self):
+        args = build_parser().parse_args(
+            ["loadtest", "--trace-out", "t.json", "--flight-out", "f.json"]
+        )
+        assert args.trace_out == "t.json"
+        assert args.flight_out == "f.json"
 
 
 class TestLoadtestCommand:
@@ -143,3 +154,101 @@ class TestLoadtestCommand:
         assert metrics["repro.serve.mismatches"]["mean"] == 0.0
         assert metrics["repro.serve.throughput_tps"]["mean"] > 0
         assert doc["environment"]["seed"] == 7
+
+
+@pytest.fixture()
+def flight_file(tmp_path):
+    """A small flight payload the way ``loadtest --flight-out`` writes it."""
+    from repro.obs.flight import FlightRecord, FlightRecorder
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.tracing import Span
+
+    recorder = FlightRecorder(capacity=4, registry=MetricsRegistry())
+    for i in range(3):
+        root = Span("serve.request", trace_id=f"{i:016x}")
+        root.start_s = 0.0
+        root.end_s = 0.01 * (i + 1)
+        recorder.record(
+            FlightRecord(
+                trace_id=f"{i:016x}",
+                traj_id=f"traj-{i}",
+                latency_s=0.01 * (i + 1),
+                stages={
+                    "queue_wait": 0.001,
+                    "model_load": 0.0,
+                    "inference": 0.009 * (i + 1),
+                    "detokenize": 0.0,
+                    "result_transit": 0.0,
+                },
+                shard=i % 2,
+                roots=[root],
+            )
+        )
+    path = tmp_path / "flight.json"
+    path.write_text(json.dumps(recorder.to_dict(), default=float))
+    return path
+
+
+class TestTailCommand:
+    def test_prints_attribution_and_slowest_tables(self, capsys, flight_file):
+        assert main(["tail", str(flight_file)]) == 0
+        out = capsys.readouterr().out
+        assert "flight recorder: 3 requests recorded, 3 retained" in out
+        for column in ("stage", "p50 ms", "p99 ms", "worst trace"):
+            assert column in out
+        for stage in ("queue_wait", "inference", "result_transit"):
+            assert stage in out
+        # Slowest-first: record 2 (30ms) leads the slow-request table.
+        assert f"{2:016x}" in out
+        assert "traj-2" in out
+
+    def test_slowest_limit(self, capsys, flight_file):
+        assert main(["tail", str(flight_file), "--slowest", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "traj-2" in out
+        assert "traj-0" not in out
+
+    def test_json_round_trips_the_payload(self, capsys, flight_file):
+        assert main(["tail", str(flight_file), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload == json.loads(flight_file.read_text())
+
+    def test_missing_file_fails_cleanly(self, capsys, tmp_path):
+        assert main(["tail", str(tmp_path / "nope.json")]) == 2
+        assert "cannot read flight payload" in capsys.readouterr().err
+
+
+class TestTraceFromFile:
+    def test_loads_spans_from_flight_payload(self, capsys, flight_file):
+        assert main(["trace", "--from", str(flight_file), "--export", "text"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("serve.request") == 3
+
+    def test_trace_id_filter_selects_one_tree(self, capsys, flight_file):
+        rc = main(
+            [
+                "trace",
+                "--from", str(flight_file),
+                "--trace-id", f"{1:016x}",
+                "--export", "jsonl",
+            ]
+        )
+        assert rc == 0
+        lines = [
+            json.loads(line)
+            for line in capsys.readouterr().out.splitlines()
+            if line.strip()
+        ]
+        assert len(lines) == 1
+        assert lines[0]["trace_id"] == f"{1:016x}"
+
+    def test_unknown_trace_id_reports_and_fails(self, capsys, flight_file):
+        rc = main(
+            ["trace", "--from", str(flight_file), "--trace-id", "f" * 16]
+        )
+        assert rc == 1
+        assert "no span trees carry trace id" in capsys.readouterr().err
+
+    def test_unreadable_file_fails_cleanly(self, capsys, tmp_path):
+        assert main(["trace", "--from", str(tmp_path / "nope.json")]) == 2
+        assert "cannot load spans" in capsys.readouterr().err

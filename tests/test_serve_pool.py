@@ -110,6 +110,43 @@ class TestMergeSnapshots:
     def test_empty_input(self):
         assert merge_snapshots([]) == {}
 
+    def test_empty_worker_snapshot_is_identity(self):
+        # A worker that died before measuring anything ships {} — merging
+        # it must not perturb the others' values.
+        alone = merge_snapshots([self._registry(2, 1.0, [0.1])])
+        with_empty = merge_snapshots([{}, self._registry(2, 1.0, [0.1]), {}])
+        assert with_empty == alone
+
+    def test_disjoint_histogram_buckets_union(self):
+        # Two workers built the same histogram with different bucket
+        # edges (a config skew mid-rollout): the merge must keep the
+        # union of edges with each side's counts on its own edges.
+        a = MetricsRegistry()
+        a.histogram("repro.test.skewed_seconds", "x", buckets=(0.1, 1.0)).observe(0.05)
+        b = MetricsRegistry()
+        b.histogram("repro.test.skewed_seconds", "x", buckets=(0.5, 2.0)).observe(1.5)
+        merged = merge_snapshots([a.snapshot(), b.snapshot()])
+        data = merged["repro.test.skewed_seconds"]
+        assert data["count"] == 2
+        assert data["sum"] == pytest.approx(1.55)
+        buckets = data["buckets"]
+        assert {"0.1", "0.5", "1.0", "2.0", "+Inf"} <= set(buckets)
+        assert buckets["+Inf"] == 2
+        assert buckets["0.1"] == 1  # only a's observation is under 0.1
+
+    def test_counter_missing_from_one_worker(self):
+        # A counter only some workers ever incremented still sums over
+        # the workers that have it.
+        a = MetricsRegistry()
+        a.counter("repro.test.rare_total", "x").inc(3)
+        b = MetricsRegistry()
+        b.counter("repro.test.other_total", "x").inc(1)
+        c = MetricsRegistry()
+        c.counter("repro.test.rare_total", "x").inc(4)
+        merged = merge_snapshots([a.snapshot(), b.snapshot(), c.snapshot()])
+        assert merged["repro.test.rare_total"]["value"] == 7.0
+        assert merged["repro.test.other_total"]["value"] == 1.0
+
 
 class TestRenderPrometheusSnapshot:
     def _snapshot(self):

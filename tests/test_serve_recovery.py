@@ -8,6 +8,8 @@ byte-identical to the single-process baseline and every submitted
 trajectory accounted for.
 """
 
+import time
+
 import pytest
 
 from repro.core.streaming import StreamingConfig, StreamingImputationService
@@ -86,6 +88,67 @@ class TestWorkerDeathRecovery:
     def test_replayed_results_flagged(self, crashed_run):
         _, results = crashed_run
         assert any(message.get("replayed") for message in results.values())
+
+
+@pytest.fixture(scope="module")
+def retired_run(saved_dir, sparse_feed):
+    """Shard 0 dies with revival off: its in-flight work must be written
+    off immediately instead of wedging drain() until the timeout."""
+    get_registry().reset(prefix="repro.serve")
+    config = ServeConfig(
+        workers=2,
+        strategy="round_robin",
+        crash_worker_after=2,
+        revive_dead_workers=False,
+        drain_timeout_s=240.0,
+    )
+    pool = ServingPool(str(saved_dir), config)
+    with pool:
+        started = time.monotonic()
+        results = pool.process_all(sparse_feed, timeout=240)
+        elapsed = time.monotonic() - started
+    return pool, results, elapsed
+
+
+class TestShardRetirementDeclaresLost:
+    def test_lost_work_written_off_explicitly(self, retired_run):
+        pool, _, _ = retired_run
+        assert pool.stats.worker_deaths == 1
+        # A straggler result already in the pipe at write-off time is
+        # still accepted, so declared_lost bounds lost from above.
+        assert pool.stats.declared_lost >= pool.stats.lost >= 1
+
+    def test_drain_returns_promptly_not_at_timeout(self, retired_run):
+        # Regression: before retirement write-off, the dead shard's
+        # outstanding entries kept drain() sleeping out the full 240s
+        # while the surviving shard sat idle.
+        pool, _, elapsed = retired_run
+        assert pool.outstanding == 0
+        assert elapsed < 120.0
+
+    def test_queue_depth_gauge_reflects_reality(self, retired_run):
+        _, _, _ = retired_run
+        gauge = get_registry().get("repro.serve.queue_depth")
+        assert gauge is not None and gauge.value == 0
+
+    def test_lost_total_counter_matches(self, retired_run):
+        pool, _, _ = retired_run
+        counter = get_registry().get("repro.serve.lost_total")
+        assert counter is not None
+        assert counter.value == pool.stats.declared_lost
+
+    def test_healthz_degraded_and_counts_the_write_off(self, retired_run):
+        pool, _, _ = retired_run
+        health = pool.healthz()
+        assert health["status"] == "degraded"
+        assert health["declared_lost"] == pool.stats.declared_lost
+        assert health["outstanding"] == 0
+
+    def test_surviving_shard_results_still_correct(self, retired_run, baseline):
+        pool, results, _ = retired_run
+        assert len(results) == pool.stats.completed
+        for traj_id, message in results.items():
+            assert message["trips"] == baseline[traj_id]
 
 
 class TestJournalDisabled:
