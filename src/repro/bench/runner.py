@@ -67,6 +67,11 @@ SUITES: dict[str, Suite] = {
         ("bench_serve_tracing.py",),
         "serving-tier tracing: no-op span and per-request attribution cost",
     ),
+    "overload": Suite(
+        "overload",
+        ("bench_serve_overload.py",),
+        "overload protection: per-request admission + brownout cost",
+    ),
     "all": Suite(
         "all",
         ("",),  # the whole benchmarks/ directory

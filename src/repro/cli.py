@@ -40,6 +40,12 @@ Sharded serving (see docs/serving.md)::
     kamel loadtest --workers 4 --trajectories 200 --output BENCH_serve.json
     kamel loadtest --workers 2 --kill-worker-after 5   # exercises recovery
 
+Overload protection (see docs/serving.md)::
+
+    kamel loadtest --offered-tps 2x --max-queue-depth 8 --request-deadline-ms 2000
+    kamel loadtest --offered-tps 25 --admission shed-oldest --min-shed 1
+    kamel serve --demo --max-queue-depth 16 --admission block
+
 Distributed tracing & tail-latency attribution (see docs/serving.md)::
 
     kamel loadtest --trace-out trace.json --flight-out flight.json
@@ -916,9 +922,18 @@ def _serve_feed(args: argparse.Namespace, model_dir: str) -> list:
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Run a batch through the sharded multi-process serving pool."""
     import pathlib
+    import signal
     import tempfile
 
     from repro.serve import ServeConfig, ServingPool
+
+    def _on_sigterm(signum, frame):
+        # Fold SIGTERM into the KeyboardInterrupt path so `kill <pid>`
+        # gets the same orderly teardown as Ctrl-C: poison pills, join,
+        # escalate — no orphan workers, no stale journal locks.
+        raise KeyboardInterrupt
+
+    previous_sigterm = signal.signal(signal.SIGTERM, _on_sigterm)
 
     if not args.demo and not args.model_dir:
         print("kamel serve needs --model-dir or --demo", file=sys.stderr)
@@ -959,6 +974,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             lru_capacity=args.lru_capacity,
             journal_dir=args.journal_dir,
             metrics_port=args.metrics_port,
+            max_queue_depth=args.max_queue_depth,
+            admission_policy=args.admission,
+            request_deadline_s=(
+                args.request_deadline_ms / 1000.0
+                if args.request_deadline_ms is not None
+                else None
+            ),
         )
         pool = ServingPool(model_dir, config)
         print(
@@ -966,7 +988,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"worker(s), strategy={args.strategy} ...",
             file=sys.stderr,
         )
-        with pool:
+        try:
+            pool.start()
             if pool.metrics_server is not None:
                 print(
                     f"pool telemetry on {pool.metrics_server.url} "
@@ -974,6 +997,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     file=sys.stderr,
                 )
             results = pool.process_all(feed, timeout=args.timeout)
+        except KeyboardInterrupt:
+            print(
+                "\ninterrupted: draining and shutting the pool down ...",
+                file=sys.stderr,
+            )
+            return 130
+        finally:
+            pool.close()
         if args.output:
             with open(args.output, "w") as handle:
                 for traj_id in sorted(results):
@@ -1015,14 +1046,33 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             return 1
         return 0
     finally:
+        signal.signal(signal.SIGTERM, previous_sigterm)
         if cleanup is not None:
             cleanup.cleanup()
+
+
+def _parse_offered(value: Optional[str]) -> tuple[float, Optional[float]]:
+    """``--offered-tps`` accepts an absolute rate ("25") or a capacity
+    multiple ("2x"); returns ``(offered_tps, offered_multiplier)``."""
+    if value is None:
+        return 0.0, None
+    text = value.strip().lower()
+    try:
+        if text.endswith("x"):
+            return 0.0, float(text[:-1])
+        return float(text), None
+    except ValueError:
+        raise SystemExit(
+            f"error: --offered-tps wants a rate like '25' or a capacity "
+            f"multiple like '2x', got {value!r}"
+        )
 
 
 def _cmd_loadtest(args: argparse.Namespace) -> int:
     """Drive synthetic load through the pool; verify, measure, snapshot."""
     from repro.serve import LoadtestConfig, run_loadtest
 
+    offered_tps, offered_multiplier = _parse_offered(args.offered_tps)
     config = LoadtestConfig(
         workers=args.workers,
         trajectories=args.trajectories,
@@ -1038,9 +1088,20 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
         trace_out=args.trace_out,
         flight_out=args.flight_out,
         flight_capacity=args.flight_capacity,
+        offered_tps=offered_tps,
+        offered_multiplier=offered_multiplier,
+        max_queue_depth=args.max_queue_depth,
+        admission=args.admission,
+        request_deadline_s=(
+            args.request_deadline_ms / 1000.0
+            if args.request_deadline_ms is not None
+            else None
+        ),
+        brownout=not args.no_brownout,
     )
+    mode = "overload" if config.overload else "loadtest"
     print(
-        f"loadtest: train {args.train_trajectories} trips, then "
+        f"{mode}: train {args.train_trajectories} trips, then "
         f"{args.trajectories} trajectories through {args.workers} worker(s) "
         f"{'(verified against single-process)' if config.verify else ''}...",
         file=sys.stderr,
@@ -1082,6 +1143,32 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
             ["worker deaths", str(report.worker_deaths)],
             ["journal replayed", str(report.journal_replayed)],
         ]
+        if report.overload:
+            rows.append(["offered rate (traj/s)", f"{report.offered_tps:.2f}"])
+            if report.capacity_tps is not None:
+                rows.append(
+                    ["measured capacity (traj/s)", f"{report.capacity_tps:.2f}"]
+                )
+            rows.append(["shed (OverloadError)", str(report.shed)])
+            rows.append(["expired in queue", str(report.expired)])
+            rows.append(
+                [
+                    "peak queue depth",
+                    f"{report.peak_queue_depth} "
+                    f"(bound {report.max_queue_depth}, "
+                    f"policy {report.admission})",
+                ]
+            )
+            rows.append(["accounted (no losses)", str(report.accounted)])
+            if report.brownout is not None:
+                rows.append(
+                    [
+                        "brownout",
+                        f"level {report.brownout['level']}, "
+                        f"{len(report.brownout['transitions'])} transition(s), "
+                        f"cycle={report.brownout['completed_cycle']}",
+                    ]
+                )
         for stage, row in report.stages.items():
             if row.get("count") and row.get("p99") is not None:
                 rows.append(
@@ -1102,7 +1189,35 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
     if not report.ok:
         print(
             f"LOADTEST FAILED: lost={report.lost} mismatches={report.mismatches} "
-            f"completed={report.completed}",
+            f"completed={report.completed} accounted={report.accounted}",
+            file=sys.stderr,
+        )
+        rc = 1
+    if (
+        report.max_queue_depth is not None
+        and report.peak_queue_depth > report.max_queue_depth
+    ):
+        print(
+            f"LOADTEST FAILED: peak queue depth {report.peak_queue_depth} "
+            f"exceeded the configured bound {report.max_queue_depth}",
+            file=sys.stderr,
+        )
+        rc = 1
+    if args.min_shed is not None and report.shed < args.min_shed:
+        print(
+            f"LOADTEST FAILED: shed {report.shed} requests, "
+            f"--min-shed wants >= {args.min_shed} (pool was not actually "
+            f"overloaded?)",
+            file=sys.stderr,
+        )
+        rc = 1
+    if args.require_brownout_cycle and not (
+        report.brownout is not None and report.brownout["completed_cycle"]
+    ):
+        print(
+            "LOADTEST FAILED: --require-brownout-cycle wants a full "
+            "step-down/step-up cycle, got "
+            f"{report.brownout and report.brownout['transitions']}",
             file=sys.stderr,
         )
         rc = 1
@@ -1257,6 +1372,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="overall drain deadline in seconds (default: pool config)",
     )
     p_serve.add_argument(
+        "--max-queue-depth", type=int, default=None, metavar="N",
+        help="bound each shard's admission queue (default: unbounded)",
+    )
+    p_serve.add_argument(
+        "--admission",
+        choices=("block", "shed", "shed-oldest"),
+        default="shed",
+        help="what a full shard queue does to new work (default: shed; "
+        "needs --max-queue-depth to matter)",
+    )
+    p_serve.add_argument(
+        "--request-deadline-ms", type=float, default=None, metavar="MS",
+        help="per-request deadline; expired-in-queue tasks are dropped",
+    )
+    p_serve.add_argument(
         "--trajectories", type=int, default=40,
         help="demo feed size (with --demo; default 40)",
     )
@@ -1337,6 +1467,44 @@ def build_parser() -> argparse.ArgumentParser:
     p_load.add_argument(
         "--flight-capacity", type=int, default=64, metavar="N",
         help="slowest requests the flight recorder retains (default 64)",
+    )
+    p_load.add_argument(
+        "--offered-tps", default=None, metavar="RATE",
+        help="overload mode: offered rate, either absolute ('25') or a "
+        "multiple of measured capacity ('2x'); enables bounded admission "
+        "queues + deadlines + brownout and accounts for every submitted "
+        "trajectory as completed/shed/expired",
+    )
+    p_load.add_argument(
+        "--max-queue-depth", type=int, default=None, metavar="N",
+        help="per-shard admission bound (default 8 in overload mode)",
+    )
+    p_load.add_argument(
+        "--admission",
+        choices=("block", "shed", "shed-oldest"),
+        default="shed",
+        help="what a full shard queue does to new work (default: shed)",
+    )
+    p_load.add_argument(
+        "--request-deadline-ms", type=float, default=None, metavar="MS",
+        help="per-request deadline; expired-in-queue tasks are dropped by "
+        "workers, thin budgets finish on cheaper ladder rungs",
+    )
+    p_load.add_argument(
+        "--no-brownout",
+        action="store_true",
+        help="overload mode without the brownout controller",
+    )
+    p_load.add_argument(
+        "--min-shed", type=int, default=None, metavar="N",
+        help="fail (exit 1) if fewer than N requests were shed (asserts "
+        "the pool was genuinely overloaded)",
+    )
+    p_load.add_argument(
+        "--require-brownout-cycle",
+        action="store_true",
+        help="fail (exit 1) unless the brownout controller stepped down "
+        "AND recovered to level 0",
     )
     p_load.add_argument(
         "--min-throughput", type=float, default=None, metavar="TPS",

@@ -283,7 +283,10 @@ class Kamel(Imputer):
     # -- imputation path ----------------------------------------------------------
 
     def impute(
-        self, trajectory: Trajectory, deadline: Optional[Deadline] = None
+        self,
+        trajectory: Trajectory,
+        deadline: Optional[Deadline] = None,
+        max_rung: Optional[str] = None,
     ) -> ImputationResult:
         """Densify one sparse trajectory (offline or per-stream-item).
 
@@ -291,6 +294,11 @@ class Kamel(Imputer):
         from ``config.trajectory_deadline_s`` (if set). An expiring
         deadline degrades remaining segments to cheaper ladder rungs —
         ultimately straight lines — rather than hanging.
+
+        ``max_rung`` caps the *top* of the ladder (brownout control): a
+        rung name from :data:`~repro.resilience.ladder.ALL_RUNGS` below
+        which every segment must start.  Rungs above the cap are skipped
+        with fallback reason ``"brownout"``; ``linear`` is never capped.
 
         Raises :class:`~repro.errors.QuarantinedInputError` for inputs no
         rung can process (non-finite or absurd coordinates/timestamps).
@@ -311,7 +319,9 @@ class Kamel(Imputer):
         with trace_scope():
             with span("impute.trajectory", points=len(points)) as sp:
                 with obs.stopwatch("repro.kamel.impute_seconds"):
-                    result = self._impute_points(trajectory, points, cfg, deadline)
+                    result = self._impute_points(
+                        trajectory, points, cfg, deadline, max_rung
+                    )
                 sp.set(
                     segments=result.num_segments,
                     failed=result.num_failed,
@@ -344,6 +354,7 @@ class Kamel(Imputer):
         points: Sequence[Point],
         cfg: KamelConfig,
         deadline: Optional[Deadline] = None,
+        max_rung: Optional[str] = None,
     ) -> ImputationResult:
         # Per Section 4.1: pick the model for the whole trajectory first;
         # segments it does not cover fall back to per-segment retrieval
@@ -372,7 +383,7 @@ class Kamel(Imputer):
                 seg_deadline = base.sub_budget(cfg.segment_deadline_s)
             interior, outcome = self._impute_segment(
                 i, a, b, prev_pt, next_pt, trajectory_model, reference_speed,
-                seg_deadline,
+                seg_deadline, max_rung,
             )
             if outcome.failed:
                 _log.warning(
@@ -403,6 +414,7 @@ class Kamel(Imputer):
         trajectory_model: Optional[MaskedModel],
         reference_speed: Optional[float] = None,
         deadline: Optional[Deadline] = None,
+        max_rung: Optional[str] = None,
     ) -> tuple[list[Point], SegmentOutcome]:
         assert self.tokenizer and self.detokenizer and self.constraints
         cfg = self.config
@@ -456,6 +468,12 @@ class Kamel(Imputer):
         for rung in self.ladder.rungs:
             if rung == RUNG_LINEAR:
                 break
+            if not DegradationLadder.allows(rung, max_rung):
+                # Brownout cap: the pool told us to skip the expensive
+                # rungs; the segment starts lower on the ladder instead.
+                obs.count("repro.resilience.brownout_skips_total")
+                reason = reason or "brownout"
+                continue
             if deadline is not None and deadline.expired:
                 obs.count("repro.resilience.deadline_exceeded_total")
                 reason = "deadline"

@@ -259,7 +259,12 @@ class StreamingImputationService:
             cleaned = self._smoother.smooth(cleaned)
         return split_by_time_gap(cleaned, cfg.trip_gap_s, cfg.min_trip_points)
 
-    def process(self, trajectory: Trajectory) -> list[ImputationResult]:
+    def process(
+        self,
+        trajectory: Trajectory,
+        deadline=None,
+        max_rung: Optional[str] = None,
+    ) -> list[ImputationResult]:
         """Impute one incoming trajectory (possibly several trips).
 
         Durability contract: with a journal configured, the input is
@@ -269,6 +274,13 @@ class StreamingImputationService:
         (:class:`~repro.errors.QuarantinedInputError`) is dead-lettered
         and returns ``[]``; it never raises out of this method, and it
         counts as done in the journal.
+
+        ``deadline`` (a :class:`~repro.resilience.deadline.Deadline`)
+        bounds the whole call — the serving tier propagates per-request
+        deadlines here so a late request finishes on cheaper ladder
+        rungs instead of missing entirely.  ``max_rung`` caps the top of
+        the degradation ladder (brownout control); both thread straight
+        into :meth:`Kamel.impute`.
 
         The wall time recorded into ``StreamStats.processing_seconds`` and
         the ``repro.streaming.process_seconds`` histogram come from the
@@ -295,7 +307,9 @@ class StreamingImputationService:
                         # filter's distance math instead of failing typed.
                         validate_trajectory(trajectory)
                         for trip in self._clean(trajectory):
-                            result = self.system.impute(trip)
+                            result = self.system.impute(
+                                trip, deadline=deadline, max_rung=max_rung
+                            )
                             results.append(result)
                             self.stats.trips_out += 1
                             self.stats.points_out += len(result.trajectory)

@@ -67,6 +67,29 @@ class CircuitOpenError(KamelError):
     """
 
 
+class OverloadError(KamelError):
+    """A request was refused (or evicted) by serving-tier admission control.
+
+    Raised/propagated by :class:`repro.serve.pool.ServingPool` when a
+    shard's bounded queue is full and the configured admission policy
+    sheds load instead of queueing without bound.  Carries the shard and
+    the policy that made the decision so callers can tell "you were the
+    newest request under ``shed``" from "you were the oldest under
+    ``shed-oldest``" apart.  Shedding is part of staying up — this is a
+    typed signal, not a crash.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        shard: Optional[int] = None,
+        policy: Optional[str] = None,
+    ) -> None:
+        super().__init__(message)
+        self.shard = shard
+        self.policy = policy
+
+
 class QuarantinedInputError(KamelError):
     """An input was rejected as malformed and belongs in quarantine.
 

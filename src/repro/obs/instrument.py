@@ -122,7 +122,13 @@ METRIC_CATALOG: dict[str, str] = {
     "repro.streaming.quarantined_total": "Inputs dead-lettered to the quarantine store.",
     "repro.streaming.journal_replayed_total": "Pending journal entries reprocessed on service recovery.",
     # -- serving tier (repro.serve) ----------------------------------------
-    "repro.serve.queue_depth": "Trajectories submitted to the serving pool and not yet completed (all shards).",
+    "repro.serve.queue_depth": "Trajectories submitted to the serving pool and not yet dequeued by a worker (all shards; queued only — in-flight work is repro.serve.inflight).",
+    "repro.serve.inflight": "Trajectories dequeued by a worker with no result accepted yet (all shards).",
+    "repro.serve.shed_total": "Requests refused or evicted by admission control (typed OverloadError results; accounted, not lost).",
+    "repro.serve.expired_in_queue_total": "Tasks dropped by a worker at dequeue because their request deadline passed while queued.",
+    "repro.serve.submit_blocked_total": "submit() calls that had to wait on a full shard under the block admission policy.",
+    "repro.serve.brownout_level": "Current pool brownout level: 0 full ladder, 1 reduced-beam cap, 2 counting cap.",
+    "repro.serve.brownout_steps_total": "Brownout controller level changes (either direction).",
     "repro.serve.submitted_total": "Trajectories routed into worker task queues by the pool.",
     "repro.serve.results_total": "Trajectory results accepted from workers (after deduplication).",
     "repro.serve.duplicate_results_total": "Duplicate worker results dropped by the pool (at-least-once replay can resend).",
@@ -153,6 +159,9 @@ METRIC_CATALOG: dict[str, str] = {
     "repro.resilience.chaos.faults_total": "Injected faults raised by the chaos harness.",
     "repro.resilience.chaos.delays_total": "Injected latency spikes from the chaos harness.",
     "repro.resilience.chaos.corruptions_total": "Grid-cell corruptions injected by the chaos harness.",
+    "repro.resilience.chaos.stalls_total": "Injected worker stalls (the deterministic overload driver: one worker wedges, its queue backs up).",
+    "repro.resilience.chaos.ipc_delays_total": "Injected IPC delays (slow dequeue / delayed result pipe).",
+    "repro.resilience.brownout_skips_total": "Ladder rungs skipped because a brownout cap was in force.",
     # -- evaluation harness (eval.harness) --------------------------------
     "repro.eval.train_seconds": "Harness: training one method on one workload.",
     "repro.eval.impute_seconds": "Harness: imputing one workload's test set.",

@@ -69,16 +69,38 @@ class ChaosConfig:
     """Which hook sites may fail (latency applies to every hooked site)."""
     crash_after: Optional[int] = None
     """Raise InjectedCrash on the Nth (1-based) ``service.process`` call."""
+    stall_after: Optional[int] = None
+    """Wedge (sleep ``stall_s``) before the Nth (1-based) dequeued task.
+
+    A *stalled worker* is the pool-level overload driver: its shard's
+    queue backs up deterministically while the process stays alive, which
+    is exactly the shape admission control and brownout must absorb.
+    """
+    stall_s: float = 0.0
+    ipc_delay_rate: float = 0.0
+    """Probability an IPC hook site (``ipc_sites``) sleeps ``ipc_delay_s``."""
+    ipc_delay_s: float = 0.01
+    ipc_sites: tuple[str, ...] = ("ipc.dequeue", "ipc.result")
+    """Which IPC sites may be delayed: slow dequeue, delayed result pipe."""
 
     def __post_init__(self) -> None:
-        for name in ("failure_rate", "latency_rate", "corruption_rate"):
+        for name in (
+            "failure_rate",
+            "latency_rate",
+            "corruption_rate",
+            "ipc_delay_rate",
+        ):
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
                 raise ValueError(f"{name} must be in [0, 1], got {value!r}")
-        if self.latency_s < 0:
-            raise ValueError(f"latency_s must be >= 0, got {self.latency_s!r}")
-        if self.crash_after is not None and self.crash_after < 1:
-            raise ValueError(f"crash_after must be >= 1, got {self.crash_after!r}")
+        for name in ("latency_s", "stall_s", "ipc_delay_s"):
+            value = getattr(self, name)
+            if value < 0:
+                raise ValueError(f"{name} must be >= 0, got {value!r}")
+        for name in ("crash_after", "stall_after"):
+            value = getattr(self, name)
+            if value is not None and value < 1:
+                raise ValueError(f"{name} must be >= 1, got {value!r}")
 
 
 @dataclass
@@ -89,6 +111,7 @@ class ChaosReport:
     delays: dict = field(default_factory=dict)
     corruptions: int = 0
     crashes: int = 0
+    stalls: int = 0
     calls: dict = field(default_factory=dict)
 
     @property
@@ -106,6 +129,7 @@ class ChaosReport:
             "delays": dict(self.delays),
             "corruptions": self.corruptions,
             "crashes": self.crashes,
+            "stalls": self.stalls,
         }
 
 
@@ -127,6 +151,7 @@ class ChaosMonkey:
         self._sleep = sleep
         self.report = ChaosReport()
         self._process_calls = 0
+        self._dequeue_calls = 0
 
     # -- the generic call-site hook ----------------------------------------
 
@@ -175,6 +200,46 @@ class ChaosMonkey:
             raise InjectedCrash(
                 f"injected crash on process call #{self._process_calls}"
             )
+
+    # -- pool-level IPC hooks ------------------------------------------------
+
+    def on_dequeue(self) -> None:
+        """Fire right after a worker dequeues a task (stall injection).
+
+        The stall is counter-driven, not RNG-driven, so overload tests get
+        a deterministic "worker N wedges on its Kth task" scenario
+        regardless of how much randomized chaos rode along before it.
+        """
+        self._dequeue_calls += 1
+        cfg = self.config
+        if (
+            cfg.stall_after is not None
+            and self._dequeue_calls == cfg.stall_after
+            and cfg.stall_s > 0
+        ):
+            self.report.stalls += 1
+            obs.count("repro.resilience.chaos.stalls_total")
+            _log.warning(
+                "injected worker stall",
+                extra={"data": {
+                    "dequeue_calls": self._dequeue_calls,
+                    "stall_s": cfg.stall_s,
+                }},
+            )
+            self._sleep(cfg.stall_s)
+        self.on_ipc("ipc.dequeue")
+
+    def on_ipc(self, site: str) -> None:
+        """Fire at an IPC boundary: maybe delay (slow dequeue / result pipe)."""
+        cfg = self.config
+        if (
+            cfg.ipc_delay_rate
+            and site in cfg.ipc_sites
+            and self._rng.random() < cfg.ipc_delay_rate
+        ):
+            self.report.delays[site] = self.report.delays.get(site, 0) + 1
+            obs.count("repro.resilience.chaos.ipc_delays_total")
+            self._sleep(cfg.ipc_delay_s)
 
     def __repr__(self) -> str:
         return (

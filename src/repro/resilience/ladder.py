@@ -30,6 +30,7 @@ counts as a *failure* (the paper's metric), while anything below
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.obs import instrument as obs
 
@@ -86,6 +87,27 @@ class DegradationLadder:
     def below(self, rung: str) -> tuple[str, ...]:
         """The rungs strictly below ``rung`` (what's left to try)."""
         return self.rungs[self.rungs.index(rung) + 1 :]
+
+    @staticmethod
+    def allows(rung: str, cap: Optional[str]) -> bool:
+        """Whether ``rung`` may run under a brownout cap.
+
+        ``cap`` names the *most expensive* rung still permitted (``None``
+        means uncapped).  Rungs above the cap are skipped; ``linear`` is
+        always allowed — the ladder must keep its floor.
+        """
+        if cap is None or rung == RUNG_LINEAR:
+            return True
+        return ALL_RUNGS.index(rung) >= ALL_RUNGS.index(cap)
+
+    @staticmethod
+    def tighter_cap(a: Optional[str], b: Optional[str]) -> Optional[str]:
+        """The more restrictive (lower) of two rung caps; ``None`` = uncapped."""
+        if a is None:
+            return b
+        if b is None:
+            return a
+        return a if ALL_RUNGS.index(a) >= ALL_RUNGS.index(b) else b
 
     @staticmethod
     def record(rung: str) -> None:

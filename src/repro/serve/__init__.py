@@ -30,10 +30,23 @@ the pool stamps a trace id at submit, workers record span trees inside
 five-stage latency breakdown (queue wait, model load, inference,
 detokenize, result transit) feeds ``repro.serve.stage.*`` histograms
 and ``kamel tail``. See docs/serving.md and docs/observability.md.
+
+The tier is overload-protected (:mod:`repro.serve.overload`): bounded
+per-shard queues with ``block`` / ``shed`` / ``shed-oldest`` admission
+(refusals surface as typed :class:`~repro.errors.OverloadError`
+results), cross-process request deadlines (expired tasks dropped at
+dequeue, thin budgets finish on cheaper ladder rungs), and a brownout
+controller that caps every shard's degradation ladder under sustained
+pressure and recovers with hysteresis.
 """
 
 from repro.serve.loadtest import LoadtestConfig, LoadtestReport, run_loadtest
 from repro.serve.modelstore import LazyModel, ModelLRU, load_kamel_lazy
+from repro.serve.overload import (
+    ADMISSION_POLICIES,
+    BrownoutConfig,
+    BrownoutController,
+)
 from repro.serve.pool import PoolStats, ServeConfig, ServingPool
 from repro.serve.strategies import (
     STRATEGIES,
@@ -47,6 +60,9 @@ from repro.serve.strategies import (
 from repro.serve.worker import WorkerSpec, worker_main
 
 __all__ = [
+    "ADMISSION_POLICIES",
+    "BrownoutConfig",
+    "BrownoutController",
     "HashCellStrategy",
     "LazyModel",
     "LoadtestConfig",

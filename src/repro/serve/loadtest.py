@@ -15,6 +15,17 @@ imputation is deterministic, sharding must not change a single
 coordinate. The report's ``mismatches`` must be 0 and ``lost`` must be 0
 for the run to count as passing.
 
+Overload mode (``offered_tps`` / ``offered_multiplier``, the CLI's
+``--offered-tps 2x``) flips the question from "how fast is it?" to
+"what breaks first?": the pool runs with bounded admission queues, a
+per-request deadline, and the brownout controller, and is driven
+*past* capacity on purpose. The report then accounts for every
+submitted trajectory as completed, shed (typed ``OverloadError``
+results), or expired-in-queue — overload may refuse work, never lose
+it — and records the brownout step-down/step-up cycle. Bit-for-bit
+verification is disabled in this mode because deadline and brownout
+degradation change outputs by design.
+
 The numbers land in a schema-v2 bench snapshot (``BENCH_serve.json``)
 via :mod:`repro.bench`, so loadtest runs diff with ``kamel stats a b``
 and feed the CI perf gate like every other benchmark in the repo.
@@ -44,6 +55,7 @@ from repro.obs.metrics import get_registry
 from repro.resilience.journal import trajectory_to_payload
 from repro.roadnet.datasets import make_porto_like
 from repro.roadnet.simulator import SimulatorConfig, TrajectorySimulator
+from repro.serve.overload import ADMISSION_POLICIES, ADMISSION_SHED, BrownoutConfig
 from repro.serve.pool import ServeConfig, ServingPool
 
 __all__ = ["LoadtestConfig", "LoadtestReport", "run_loadtest"]
@@ -86,6 +98,29 @@ class LoadtestConfig:
     file ``kamel tail`` reads offline."""
     flight_capacity: int = 64
     """Slowest requests the pool's flight recorder retains."""
+    offered_tps: float = 0.0
+    """Overload mode: drive the pool at this *offered* rate regardless of
+    what it completes (admission control and deadlines absorb the
+    excess). 0 disables overload mode (see ``offered_multiplier``)."""
+    offered_multiplier: Optional[float] = None
+    """Overload mode, self-calibrating: first measure the pool's
+    sustained capacity on a short flood, then offer ``multiplier ×
+    capacity`` (e.g. 2.0 ≈ "2x capacity"). Overrides ``offered_tps``."""
+    calibrate_trajectories: int = 30
+    """Trajectories in the capacity-calibration flood."""
+    max_queue_depth: Optional[int] = None
+    """Per-shard admission bound; defaults to 8 in overload mode."""
+    admission: str = ADMISSION_SHED
+    request_deadline_s: Optional[float] = None
+    """Per-request deadline stamped on every envelope (overload mode
+    reports expired-in-queue counts against it)."""
+    brownout: bool = True
+    """Run the pool's brownout controller (overload mode only)."""
+
+    @property
+    def overload(self) -> bool:
+        """Whether this scenario drives the pool past capacity."""
+        return self.offered_tps > 0 or self.offered_multiplier is not None
 
     def __post_init__(self) -> None:
         if self.trajectories < 1:
@@ -94,6 +129,25 @@ class LoadtestConfig:
             )
         if self.rate_tps < 0:
             raise ConfigError(f"rate_tps must be >= 0, got {self.rate_tps!r}")
+        if self.offered_tps < 0:
+            raise ConfigError(
+                f"offered_tps must be >= 0, got {self.offered_tps!r}"
+            )
+        if self.offered_multiplier is not None and self.offered_multiplier <= 0:
+            raise ConfigError(
+                "offered_multiplier must be positive, got "
+                f"{self.offered_multiplier!r}"
+            )
+        if self.admission not in ADMISSION_POLICIES:
+            raise ConfigError(
+                f"admission must be one of {ADMISSION_POLICIES}, "
+                f"got {self.admission!r}"
+            )
+        if self.request_deadline_s is not None and self.request_deadline_s <= 0:
+            raise ConfigError(
+                "request_deadline_s must be positive, got "
+                f"{self.request_deadline_s!r}"
+            )
 
 
 @dataclass
@@ -132,15 +186,41 @@ class LoadtestReport:
     """Results that arrived with worker span trees attached."""
     trace_out: Optional[str] = None
     flight_out: Optional[str] = None
+    overload: bool = False
+    """Whether this run intentionally drove the pool past capacity."""
+    offered_tps: float = 0.0
+    capacity_tps: Optional[float] = None
+    """Measured sustained capacity (calibration flood), when available."""
+    shed: int = 0
+    expired: int = 0
+    peak_queue_depth: int = 0
+    max_queue_depth: Optional[int] = None
+    admission: Optional[str] = None
+    brownout: Optional[dict] = None
+    """Final brownout controller state + transition log, when enabled."""
+
+    @property
+    def accounted(self) -> bool:
+        """Every submitted trajectory ended as completed, shed, or
+        expired — overload may refuse work but must never lose it."""
+        return (
+            self.lost == 0
+            and self.completed + self.shed + self.expired == self.trajectories
+        )
 
     @property
     def ok(self) -> bool:
         """Every input accounted for and (if verified) byte-identical."""
-        return self.lost == 0 and self.mismatches == 0 and self.completed > 0
+        return (
+            self.accounted
+            and self.mismatches == 0
+            and self.completed > 0
+        )
 
     def to_dict(self) -> dict:
         out = dict(self.__dict__)
         out["ok"] = self.ok
+        out["accounted"] = self.accounted
         return out
 
     def bench_metrics(self) -> dict[str, float]:
@@ -173,6 +253,19 @@ class LoadtestReport:
             metrics["repro.serve.single_throughput_tps"] = self.single_throughput_tps
         if self.speedup_vs_single is not None:
             metrics["repro.serve.speedup_vs_single"] = self.speedup_vs_single
+        if self.overload:
+            metrics["repro.serve.offered_tps"] = self.offered_tps
+            metrics["repro.serve.shed"] = float(self.shed)
+            metrics["repro.serve.expired"] = float(self.expired)
+            metrics["repro.serve.peak_queue_depth"] = float(
+                self.peak_queue_depth
+            )
+            if self.capacity_tps is not None:
+                metrics["repro.serve.capacity_tps"] = self.capacity_tps
+            if self.brownout is not None:
+                metrics["repro.serve.brownout_steps"] = float(
+                    len(self.brownout.get("transitions", []))
+                )
         return metrics
 
 
@@ -216,6 +309,48 @@ def _count_mismatches(
     return mismatches
 
 
+def _calibrate_capacity(
+    config: LoadtestConfig, model_dir: str, dataset
+) -> float:
+    """Measure the pool's sustained capacity with a short flood.
+
+    Runs a *separate* plain (unbounded, no-brownout) pool over a small
+    disjoint feed and floods it; completed/wall is the trajectories/sec
+    the fleet can actually absorb, which overload mode then multiplies
+    to pick an offered rate guaranteed to exceed it.
+    """
+    simulator = TrajectorySimulator(
+        dataset.network,
+        SimulatorConfig(sample_interval_s=15.0, seed=config.seed + 202),
+    )
+    dense = simulator.simulate(config.calibrate_trajectories, id_prefix="cal")
+    feed = [t.sparsify(config.sparseness_m) for t in dense]
+    serve_config = ServeConfig(
+        workers=config.workers,
+        strategy=config.strategy,
+        lru_capacity=config.lru_capacity,
+        journal_dir=None,
+    )
+    get_registry().reset(prefix="repro.serve")
+    pool = ServingPool(str(model_dir), serve_config)
+    with pool:
+        started = time.perf_counter()
+        for trajectory in feed:
+            pool.submit(trajectory)
+        pool.drain()
+        wall = time.perf_counter() - started
+    capacity = pool.stats.completed / wall if wall > 0 else 0.0
+    _log.info(
+        "capacity calibrated",
+        extra={"data": {
+            "trajectories": len(feed),
+            "wall_s": round(wall, 3),
+            "capacity_tps": round(capacity, 2),
+        }},
+    )
+    return capacity
+
+
 def run_loadtest(
     config: LoadtestConfig,
     workdir: Optional[Union[str, pathlib.Path]] = None,
@@ -252,10 +387,41 @@ def run_loadtest(
             }},
         )
 
+        verify = config.verify
+        if verify and config.overload:
+            # Deadlines and brownout legitimately change outputs (cheaper
+            # rungs, expired requests), so bit-for-bit comparison against
+            # the unhurried baseline would report false mismatches.
+            _log.info(
+                "overload mode: bit-for-bit verification disabled "
+                "(deadline/brownout degradation changes outputs by design)"
+            )
+            verify = False
         baseline: Optional[dict[str, list[dict]]] = None
         single_wall: Optional[float] = None
-        if config.verify:
+        if verify:
             baseline, single_wall = _run_baseline(config, str(model_dir), feed)
+
+        capacity_tps: Optional[float] = None
+        rate = config.rate_tps
+        if config.overload:
+            if config.offered_multiplier is not None:
+                capacity_tps = _calibrate_capacity(
+                    config, str(model_dir), dataset
+                )
+                rate = config.offered_multiplier * capacity_tps
+            else:
+                rate = config.offered_tps
+        max_depth = config.max_queue_depth
+        if max_depth is None and config.overload:
+            max_depth = 8
+        brownout_cfg: Optional[BrownoutConfig] = None
+        if config.overload and config.brownout and max_depth is not None:
+            brownout_cfg = BrownoutConfig(
+                high_depth=max(2, (3 * max_depth) // 4),
+                low_depth=max(1, max_depth // 4),
+                interval_s=0.1,
+            )
 
         journal_dir = str(workdir / "journal") if config.journal else None
         serve_config = ServeConfig(
@@ -267,12 +433,16 @@ def run_loadtest(
             chaos_seed=config.seed,
             trace=config.trace,
             flight_capacity=config.flight_capacity,
+            max_queue_depth=max_depth,
+            admission_policy=config.admission,
+            request_deadline_s=config.request_deadline_s,
+            brownout=brownout_cfg,
         )
         # A fresh latency window per run: the serve metrics may carry
         # state from an earlier run in this process (tests, repeats).
         get_registry().reset(prefix="repro.serve")
         pool = ServingPool(str(model_dir), serve_config)
-        interval = 1.0 / config.rate_tps if config.rate_tps > 0 else 0.0
+        interval = 1.0 / rate if rate > 0 else 0.0
         with pool:
             started = time.perf_counter()
             next_submit = started
@@ -285,6 +455,11 @@ def run_loadtest(
                 pool.submit(trajectory)
             results = pool.drain()
             wall = time.perf_counter() - started
+            if pool.brownout is not None:
+                # Let the controller observe the drained queues and walk
+                # back to level 0 — the recovery half of the hysteresis
+                # cycle the report asserts on. Excluded from the wall.
+                pool.brownout_settle()
 
         latency = obs.histogram("repro.serve.latency_seconds")
         p50 = latency.quantile(0.5) or 0.0
@@ -313,6 +488,17 @@ def run_loadtest(
             stages=pool.flight.stage_summary(),
             traced_requests=int(
                 obs.counter("repro.serve.traced_requests_total").value
+            ),
+            overload=config.overload,
+            offered_tps=rate if config.overload else 0.0,
+            capacity_tps=capacity_tps,
+            shed=pool.stats.shed,
+            expired=pool.stats.expired,
+            peak_queue_depth=pool.stats.peak_queue_depth,
+            max_queue_depth=max_depth,
+            admission=config.admission if max_depth is not None else None,
+            brownout=(
+                pool.brownout.to_dict() if pool.brownout is not None else None
             ),
         )
         if config.trace_out:

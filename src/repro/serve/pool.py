@@ -44,6 +44,7 @@ import multiprocessing as mp
 import pathlib
 import queue as queue_mod
 import time
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Optional, Union
 
@@ -56,6 +57,15 @@ from repro.obs.flight import FlightRecord, FlightRecorder, stage_breakdown
 from repro.obs.logging import get_logger
 from repro.obs.metrics import get_registry, merge_snapshots
 from repro.obs.tracing import Span, clock_offset, new_trace_id
+from repro.resilience.chaos import ChaosConfig
+from repro.serve.overload import (
+    ADMISSION_BLOCK,
+    ADMISSION_POLICIES,
+    ADMISSION_SHED,
+    ADMISSION_SHED_OLDEST,
+    BrownoutConfig,
+    BrownoutController,
+)
 from repro.serve.strategies import PartitionStrategy, make_strategy
 from repro.serve.worker import WorkerSpec, worker_main
 
@@ -141,10 +151,56 @@ class ServeConfig:
     """Root spans a worker ships per result (overflow dropped+counted)."""
     flight_capacity: int = 32
     """Slowest requests the pool's flight recorder retains."""
+    max_queue_depth: Optional[int] = None
+    """Per-shard bound on *queued* work (submitted, not yet dequeued).
+    None (the default) keeps the legacy unbounded queue; with it set,
+    ``submit`` applies ``admission_policy`` when the shard is full."""
+    admission_policy: str = ADMISSION_SHED
+    """What a full shard does to a new request: ``block`` (wait up to
+    ``submit_block_timeout_s``, then shed), ``shed`` (refuse the
+    newcomer), or ``shed-oldest`` (evict the oldest queued request)."""
+    submit_block_timeout_s: float = 30.0
+    queue_prefetch: int = 2
+    """With admission control on, envelopes kept in the OS-level task
+    queue per shard; the rest wait pool-side where ``shed-oldest`` can
+    still evict them. Irrelevant when ``max_queue_depth`` is None."""
+    request_deadline_s: Optional[float] = None
+    """Absolute per-request deadline stamped on every envelope at
+    submit. Workers drop tasks whose deadline passed in the queue
+    (counted ``expired``) and thread the remaining budget into the
+    degradation ladder."""
+    late_degrade: bool = True
+    """Workers cap the ladder for requests whose deadline budget is
+    mostly gone (see :class:`repro.serve.worker.WorkerSpec`)."""
+    brownout: Optional[BrownoutConfig] = None
+    """Enable the pool-side brownout controller: under sustained queue
+    pressure every shard's ladder is capped (full → reduced beam →
+    counting), stepping back up with hysteresis. None disables it."""
+    worker_chaos: Optional[ChaosConfig] = None
+    """Chaos injected into every worker (IPC delays, stalls); shard 0's
+    ``crash_worker_after`` (when set) is merged on top."""
 
     def __post_init__(self) -> None:
         if self.workers < 1:
             raise ConfigError(f"workers must be >= 1, got {self.workers!r}")
+        if self.admission_policy not in ADMISSION_POLICIES:
+            raise ConfigError(
+                f"admission_policy must be one of {ADMISSION_POLICIES}, "
+                f"got {self.admission_policy!r}"
+            )
+        if self.max_queue_depth is not None and self.max_queue_depth < 1:
+            raise ConfigError(
+                f"max_queue_depth must be >= 1, got {self.max_queue_depth!r}"
+            )
+        if self.queue_prefetch < 1:
+            raise ConfigError(
+                f"queue_prefetch must be >= 1, got {self.queue_prefetch!r}"
+            )
+        if self.request_deadline_s is not None and self.request_deadline_s <= 0:
+            raise ConfigError(
+                "request_deadline_s must be positive, got "
+                f"{self.request_deadline_s!r}"
+            )
 
 
 @dataclass
@@ -166,12 +222,24 @@ class PoolStats:
     declared_lost: int = 0
     """Trajectories explicitly written off when their shard was retired
     with no replacement worker."""
+    shed: int = 0
+    """Requests refused (or evicted) by admission control — surfaced as
+    typed :class:`~repro.errors.OverloadError` results, never lost."""
+    expired: int = 0
+    """Requests whose deadline passed while queued; the worker dropped
+    them on dequeue without doing the work."""
+    peak_queue_depth: int = 0
+    """Deepest any single shard's queued backlog ever got (the bound the
+    overload loadtest asserts against ``max_queue_depth``)."""
     rungs: dict[str, int] = field(default_factory=dict)
 
     @property
     def lost(self) -> int:
-        """Submitted trajectories never accounted for (should be 0)."""
-        return max(0, self.submitted - self.completed)
+        """Submitted trajectories never accounted for (should be 0).
+
+        Shed and expired requests are *accounted*: every submission ends
+        up exactly one of completed / shed / expired / lost."""
+        return max(0, self.submitted - self.completed - self.shed - self.expired)
 
 
 @dataclass(frozen=True)
@@ -255,6 +323,27 @@ class ServingPool:
         self._incarnations = 0
         self._byes: set[int] = set()
         self._outstanding: dict[str, _Pending] = {}
+        # Admission bookkeeping: envelopes wait pool-side in _buffers
+        # (evictable) and only queue_prefetch of them sit in the OS-level
+        # task queue at a time; _in_queue / _inflight track the
+        # queued-vs-dequeued split the two gauges report.
+        self._buffers: dict[int, deque] = {
+            shard: deque() for shard in range(self.config.workers)
+        }
+        self._in_queue: dict[int, int] = {
+            shard: 0 for shard in range(self.config.workers)
+        }
+        self._inflight: dict[int, int] = {
+            shard: 0 for shard in range(self.config.workers)
+        }
+        self._in_queue_ids: set[str] = set()
+        self._dequeued_ids: set[str] = set()
+        self._control = None
+        self.brownout: Optional[BrownoutController] = (
+            BrownoutController(self.config.brownout)
+            if self.config.brownout is not None
+            else None
+        )
         self._started = False
         self._stopping = False
         self.metrics_server = None
@@ -274,6 +363,11 @@ class ServingPool:
         if self._started:
             return self
         self._result_queue = _SyncQueue(self._ctx)
+        if self.brownout is not None:
+            # Workers read the current brownout level per task; writes
+            # are pool-only, reads are a single int — a shared Value is
+            # exactly enough machinery.
+            self._control = self._ctx.Value("i", 0)
         for shard in range(self.config.workers):
             self._task_queues.append(self._ctx.Queue())
             self._spawn(shard, recover=False)
@@ -314,13 +408,15 @@ class ServingPool:
             trace=self.config.trace,
             trace_max_roots=self.config.trace_max_roots,
             span_batch=self.config.span_batch,
+            late_degrade=self.config.late_degrade,
+            worker_chaos=self.config.worker_chaos,
         )
 
     def _spawn(self, shard: int, recover: bool) -> None:
         spec = self._spec(shard, recover)
         proc = self._ctx.Process(
             target=worker_main,
-            args=(spec, self._task_queues[shard], self._result_queue),
+            args=(spec, self._task_queues[shard], self._result_queue, self._control),
             name=f"kamel-serve-{shard}",
             daemon=True,
         )
@@ -339,32 +435,184 @@ class ServingPool:
     def submit(self, trajectory: Trajectory) -> int:
         """Route one trajectory to its shard; returns the shard index.
 
-        The task goes out as an envelope carrying a fresh trace id and
-        the submit wall clock, so the worker can join the request's
-        trace and the pool can later split queue wait from processing.
+        The task goes out as an envelope carrying a fresh trace id, the
+        submit wall clock, and (with ``request_deadline_s`` set) the
+        absolute deadline, so the worker can join the request's trace,
+        split queue wait from processing, and drop tasks that expired in
+        the queue.
+
+        With ``max_queue_depth`` set, a full shard applies the admission
+        policy first; a refused trajectory still returns its shard — it
+        lands in ``results`` as a typed ``OverloadError`` entry instead
+        of being queued (never silently dropped).
         """
         if not self._started:
             raise ConfigError("pool not started (use start() or a with-block)")
         shard = self.strategy.shard_for(trajectory)
+        self.stats.submitted += 1
+        obs.count("repro.serve.submitted_total")
+        max_depth = self.config.max_queue_depth
+        if max_depth is not None and self._depth(shard) >= max_depth:
+            if not self._make_room(shard):
+                self._shed(trajectory.traj_id, shard, "shard queue full")
+                self._pump(0.0)
+                return shard
+        submit_epoch = time.time()
         trace_id = new_trace_id()
         self._outstanding[trajectory.traj_id] = _Pending(
             shard=shard,
             submitted_pc=time.perf_counter(),
             trace_id=trace_id,
-            submit_epoch=time.time(),
+            submit_epoch=submit_epoch,
         )
-        self.stats.submitted += 1
-        obs.count("repro.serve.submitted_total")
-        obs.gauge("repro.serve.queue_depth").set(len(self._outstanding))
-        self._task_queues[shard].put(
-            {
-                "trajectory": trajectory,
-                "trace_id": trace_id,
-                "submit_epoch": self._outstanding[trajectory.traj_id].submit_epoch,
-            }
-        )
+        envelope = {
+            "trajectory": trajectory,
+            "trace_id": trace_id,
+            "submit_epoch": submit_epoch,
+        }
+        if self.config.request_deadline_s is not None:
+            envelope["deadline_epoch"] = submit_epoch + self.config.request_deadline_s
+            envelope["deadline_budget_s"] = self.config.request_deadline_s
+        self._buffers[shard].append(envelope)
+        self._feed(shard)
+        self._note_depth()
+        self._brownout_tick()
         self._pump(0.0)
         return shard
+
+    # -- admission control ---------------------------------------------------
+
+    def _depth(self, shard: int) -> int:
+        """Queued (not yet dequeued) tasks for one shard: the pool-side
+        buffer plus what already sits in the OS-level task queue."""
+        return len(self._buffers[shard]) + self._in_queue.get(shard, 0)
+
+    def _make_room(self, shard: int) -> bool:
+        """Apply the admission policy to a full shard.
+
+        Returns True when the newcomer may now be queued; False means
+        the caller sheds the newcomer instead.
+        """
+        policy = self.config.admission_policy
+        if policy == ADMISSION_SHED:
+            return False
+        if policy == ADMISSION_SHED_OLDEST:
+            buffer = self._buffers[shard]
+            if not buffer:
+                # Everything queued is already in the OS-level pipe where
+                # it can't be recalled — shed the newcomer instead.
+                return False
+            victim = buffer.popleft()
+            victim_id = victim["trajectory"].traj_id
+            self._outstanding.pop(victim_id, None)
+            self._shed(victim_id, shard, "evicted by a newer request")
+            return True
+        # block: pump results until the shard has room or the timeout
+        # passes (then shed — blocking forever is the failure mode this
+        # whole layer exists to remove).
+        wait_until = time.monotonic() + self.config.submit_block_timeout_s
+        assert self.config.max_queue_depth is not None
+        obs.count("repro.serve.submit_blocked_total")
+        while self._depth(shard) >= self.config.max_queue_depth:
+            if not self._pump(0.05):
+                self._check_workers()
+            self._brownout_tick()
+            if time.monotonic() > wait_until:
+                return False
+        return True
+
+    def _shed(self, traj_id: str, shard: int, why: str) -> None:
+        """Refuse one request: account it and surface a typed error result."""
+        policy = self.config.admission_policy
+        self.stats.shed += 1
+        obs.count("repro.serve.shed_total")
+        self.results[traj_id] = {
+            "kind": "result",
+            "traj_id": traj_id,
+            "shard": shard,
+            "worker_id": None,
+            "shed": True,
+            "policy": policy,
+            "error": f"OverloadError: {why} (shard {shard}, policy {policy})",
+            "error_type": "OverloadError",
+            "start_epoch": None,
+            "process_s": 0.0,
+            "trips": [],
+            "segments": 0,
+            "failed": 0,
+            "degraded": 0,
+            "model_calls": 0,
+            "rungs": {},
+            "quarantined": False,
+            "replayed": False,
+        }
+        _log.warning(
+            "request shed by admission control",
+            extra={"data": {"traj_id": traj_id, "shard": shard,
+                            "policy": policy, "why": why}},
+        )
+
+    def _feed(self, shard: int) -> None:
+        """Move buffered envelopes into the shard's OS-level task queue,
+        up to the prefetch window (everything, when unbounded)."""
+        prefetch: Optional[int] = None
+        if self.config.max_queue_depth is not None:
+            prefetch = min(self.config.queue_prefetch, self.config.max_queue_depth)
+        buffer = self._buffers[shard]
+        while buffer and (prefetch is None or self._in_queue[shard] < prefetch):
+            envelope = buffer.popleft()
+            self._task_queues[shard].put(envelope)
+            self._in_queue[shard] += 1
+            self._in_queue_ids.add(envelope["trajectory"].traj_id)
+
+    def _note_depth(self) -> None:
+        """Refresh the queued/inflight gauges and the peak-depth stat."""
+        shards = range(self.config.workers)
+        total_queued = sum(self._depth(shard) for shard in shards)
+        deepest = max((self._depth(shard) for shard in shards), default=0)
+        self.stats.peak_queue_depth = max(self.stats.peak_queue_depth, deepest)
+        obs.gauge("repro.serve.queue_depth").set(total_queued)
+        obs.gauge("repro.serve.inflight").set(
+            float(sum(self._inflight.values()))
+        )
+
+    # -- brownout ------------------------------------------------------------
+
+    def _queue_wait_p99(self) -> Optional[float]:
+        try:
+            summary = self.flight.stage_summary()
+        except Exception:
+            return None
+        stage = summary.get("queue_wait")
+        if not stage:
+            return None
+        return stage.get("p99")
+
+    def _brownout_tick(self) -> None:
+        """Feed the brownout controller one pressure sample (rate-limited
+        by its own interval) and publish a level change to the workers."""
+        if self.brownout is None:
+            return
+        depth = max(
+            (self._depth(shard) for shard in range(self.config.workers)),
+            default=0,
+        )
+        new_level = self.brownout.evaluate(depth, self._queue_wait_p99())
+        if new_level is not None and self._control is not None:
+            self._control.value = new_level
+
+    def brownout_settle(self, timeout_s: float = 10.0) -> int:
+        """Tick the controller on an idle pool until it steps back to
+        level 0 (or the timeout passes); returns the final level. The
+        overload loadtest calls this after draining so a clean run shows
+        the full step-down/step-up cycle."""
+        if self.brownout is None:
+            return 0
+        wait_until = time.monotonic() + timeout_s
+        while self.brownout.level > 0 and time.monotonic() < wait_until:
+            self._brownout_tick()
+            time.sleep(max(0.01, self.brownout.config.interval_s / 2))
+        return self.brownout.level
 
     @property
     def outstanding(self) -> int:
@@ -385,6 +633,7 @@ class ServingPool:
             if self._pump(0.25):
                 continue
             self._check_workers()
+            self._brownout_tick()
             if not any(p.is_alive() for p in self._procs.values()):
                 # Every shard is dead (revive cap hit or revival off) —
                 # drain the queue's stragglers and give up early rather
@@ -433,12 +682,29 @@ class ServingPool:
         kind = message.get("kind")
         if kind == "result":
             self._handle_result(message)
+        elif kind == "dequeued":
+            self._handle_dequeued(message)
         elif kind in ("metrics", "bye"):
             self.worker_snapshots[message["shard"]] = message["snapshot"]
             if kind == "bye":
                 self._byes.add(message["shard"])
                 self.worker_lru[message["shard"]] = message.get("lru", {})
         # "ready" needs no bookkeeping beyond existing process state.
+
+    def _handle_dequeued(self, message: dict) -> None:
+        """A worker pulled a task off its queue: move it from queued to
+        in-flight and refill the shard's prefetch window."""
+        traj_id = message["traj_id"]
+        shard = message["shard"]
+        if traj_id in self._in_queue_ids:
+            self._in_queue_ids.discard(traj_id)
+            self._in_queue[shard] = max(0, self._in_queue.get(shard, 0) - 1)
+        if traj_id in self._outstanding and traj_id not in self._dequeued_ids:
+            self._dequeued_ids.add(traj_id)
+            self._inflight[shard] = self._inflight.get(shard, 0) + 1
+        self._feed(shard)
+        self._note_depth()
+        self._brownout_tick()
 
     def _handle_result(self, message: dict) -> None:
         traj_id = message["traj_id"]
@@ -452,19 +718,37 @@ class ServingPool:
             return
         handle_epoch = time.time()
         self.results[traj_id] = message
-        self.stats.completed += 1
-        obs.count("repro.serve.results_total")
+        expired = bool(message.get("expired"))
+        if expired:
+            self.stats.expired += 1
+        else:
+            self.stats.completed += 1
+            obs.count("repro.serve.results_total")
         pending = self._outstanding.pop(traj_id, None)
+        shard = message["shard"]
+        # Reconcile the queued/in-flight split. A result without a prior
+        # "dequeued" notification (journal replay, or the worker died
+        # between dequeuing and notifying) still settles the books here.
+        if traj_id in self._in_queue_ids:
+            self._in_queue_ids.discard(traj_id)
+            self._in_queue[shard] = max(0, self._in_queue.get(shard, 0) - 1)
+        if traj_id in self._dequeued_ids:
+            self._dequeued_ids.discard(traj_id)
+            self._inflight[shard] = max(0, self._inflight.get(shard, 0) - 1)
         latency_s = None
-        if pending is not None:
+        if pending is not None and not expired:
+            # Expired tasks are excluded from the latency histogram: the
+            # accepted-request p50/p99 is the SLA signal, and a deadline
+            # miss is already counted on its own metric.
             latency_s = time.perf_counter() - pending.submitted_pc
             obs.observe("repro.serve.latency_seconds", latency_s)
-        obs.gauge("repro.serve.queue_depth").set(len(self._outstanding))
-        shard = message["shard"]
+        self._feed(shard)
+        self._note_depth()
+        self._brownout_tick()
         self.worker_processed[shard] = self.worker_processed.get(shard, 0) + 1
         if message.get("replayed"):
             self.stats.journal_replayed += 1
-        if message.get("error"):
+        if message.get("error") and not expired:
             self.stats.errors += 1
         if message.get("quarantined"):
             self.stats.quarantined += 1
@@ -629,9 +913,14 @@ class ServingPool:
             return
         for traj_id in lost:
             del self._outstanding[traj_id]
+            self._in_queue_ids.discard(traj_id)
+            self._dequeued_ids.discard(traj_id)
+        self._buffers[shard].clear()
+        self._in_queue[shard] = 0
+        self._inflight[shard] = 0
         self.stats.declared_lost += len(lost)
         obs.count("repro.serve.lost_total", len(lost))
-        obs.gauge("repro.serve.queue_depth").set(len(self._outstanding))
+        self._note_depth()
         _log.error(
             "shard retired with in-flight work; declaring it lost",
             extra={"data": {
@@ -644,7 +933,12 @@ class ServingPool:
     # -- shutdown ----------------------------------------------------------
 
     def stop(self, timeout: float = 20.0) -> None:
-        """Sentinel every shard, collect goodbyes, reap the processes."""
+        """Sentinel every shard, collect goodbyes, reap the processes.
+
+        Escalation ladder: poison pills and a graceful join first, then
+        ``terminate()`` (SIGTERM), then ``kill()`` (SIGKILL) — Ctrl-C or
+        a supervisor's SIGTERM must never leave orphan workers behind.
+        """
         if not self._started or self._stopping:
             return
         self._stopping = True
@@ -661,6 +955,15 @@ class ServingPool:
             if proc.is_alive():
                 proc.terminate()
                 proc.join(timeout=5.0)
+            if proc.is_alive():
+                # A worker wedged through SIGTERM (stalled in C code, or
+                # chaos-stalled): SIGKILL is the no-orphans backstop.
+                _log.error(
+                    "worker ignored terminate; killing it",
+                    extra={"data": {"pid": proc.pid}},
+                )
+                proc.kill()
+                proc.join(timeout=5.0)
         while self._pump(0.0):
             pass
         for task_queue in self._task_queues:
@@ -674,9 +977,15 @@ class ServingPool:
             "serving pool stopped",
             extra={"data": {
                 "completed": self.stats.completed,
+                "shed": self.stats.shed,
+                "expired": self.stats.expired,
                 "worker_deaths": self.stats.worker_deaths,
             }},
         )
+
+    def close(self, timeout: float = 20.0) -> None:
+        """Graceful-shutdown alias for :meth:`stop` (idempotent)."""
+        self.stop(timeout=timeout)
 
     # -- fleet observability -----------------------------------------------
 
@@ -688,11 +997,6 @@ class ServingPool:
 
     def healthz(self) -> dict:
         """The aggregated health document behind ``/healthz``."""
-        per_shard_outstanding: dict[int, int] = {}
-        for pending in self._outstanding.values():
-            per_shard_outstanding[pending.shard] = (
-                per_shard_outstanding.get(pending.shard, 0) + 1
-            )
         workers = []
         for shard in sorted(self._procs):
             proc = self._procs[shard]
@@ -702,11 +1006,12 @@ class ServingPool:
                     "alive": proc.is_alive(),
                     "pid": proc.pid,
                     "processed": self.worker_processed.get(shard, 0),
-                    "queue_depth": per_shard_outstanding.get(shard, 0),
+                    "queue_depth": self._depth(shard),
+                    "inflight": self._inflight.get(shard, 0),
                 }
             )
         alive = all(w["alive"] for w in workers) if workers else False
-        return {
+        doc = {
             "status": "ok" if alive and self.stats.lost == 0 else "degraded",
             "strategy": self.strategy.name,
             "submitted": self.stats.submitted,
@@ -716,5 +1021,16 @@ class ServingPool:
             "worker_deaths": self.stats.worker_deaths,
             "journal_replayed": self.stats.journal_replayed,
             "declared_lost": self.stats.declared_lost,
+            "shed": self.stats.shed,
+            "expired": self.stats.expired,
+            "peak_queue_depth": self.stats.peak_queue_depth,
+            "admission": {
+                "max_queue_depth": self.config.max_queue_depth,
+                "policy": self.config.admission_policy,
+                "request_deadline_s": self.config.request_deadline_s,
+            },
             "workers": workers,
         }
+        if self.brownout is not None:
+            doc["brownout"] = self.brownout.to_dict()
+        return doc

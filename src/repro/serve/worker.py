@@ -36,7 +36,7 @@ from __future__ import annotations
 
 import os
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Optional
 
 from repro.core.streaming import StreamingConfig, StreamingImputationService
@@ -54,8 +54,15 @@ from repro.obs.tracing import (
     tracing_enabled,
 )
 from repro.resilience.chaos import ChaosConfig, ChaosMonkey, InjectedCrash
+from repro.resilience.deadline import Deadline
 from repro.resilience.journal import StreamJournal, trajectory_to_payload
+from repro.resilience.ladder import (
+    DegradationLadder,
+    RUNG_COUNTING,
+    RUNG_REDUCED_BEAM,
+)
 from repro.serve.modelstore import DEFAULT_LRU_CAPACITY, load_kamel_lazy
+from repro.serve.overload import rung_cap_for
 
 __all__ = ["CRASH_EXIT_CODE", "WorkerSpec", "worker_main"]
 
@@ -93,6 +100,14 @@ class WorkerSpec:
     """Bound on the worker tracer's finished-root buffer."""
     span_batch: int = 64
     """Root spans shipped per result; overflow is dropped (and counted)."""
+    late_degrade: bool = True
+    """With a request deadline present, cap the ladder for requests whose
+    remaining budget is already thin (<50% left: reduced beam at most,
+    <25%: counting at most) — finish late requests cheaper instead of
+    missing them entirely."""
+    worker_chaos: Optional[ChaosConfig] = None
+    """Pool-level chaos (IPC delays, stalls) injected into this worker;
+    ``crash_after`` (when set) is merged on top of it."""
 
     def journal_path(self) -> Optional[str]:
         if self.journal_dir is None:
@@ -125,6 +140,9 @@ def _process_one(
     trajectory: Trajectory,
     replayed: bool,
     trace_id: Optional[str] = None,
+    deadline: Optional[Deadline] = None,
+    max_rung: Optional[str] = None,
+    monkey: Optional[ChaosMonkey] = None,
 ) -> None:
     """Impute one trajectory and deliver its result (at-least-once).
 
@@ -152,7 +170,9 @@ def _process_one(
     try:
         with trace_scope(trace_id) as active_id:
             message["trace_id"] = active_id
-            results = service.process(trajectory)
+            results = service.process(
+                trajectory, deadline=deadline, max_rung=max_rung
+            )
         rungs: dict[str, int] = {}
         for result in results:
             for rung, count in result.rung_counts.items():
@@ -197,22 +217,92 @@ def _process_one(
         message["spans"] = [root.to_dict() for root in roots]
         message["clock_offset"] = clock_offset()
         clear_spans()
+    if monkey is not None:
+        monkey.on_ipc("ipc.result")  # chaos: delayed result pipe
     result_queue.put(message)
     obs.count("repro.serve.worker.trajectories_total")
     if journal is not None:
         journal.done(trajectory.traj_id)
 
 
-def _unpack_task(task) -> tuple[Trajectory, Optional[str]]:
+def _unpack_task(task) -> tuple[Trajectory, dict]:
     """A task is either an envelope dict or a bare trajectory (journal
-    replay, older producers). Returns ``(trajectory, trace_id)``."""
+    replay, older producers). Returns ``(trajectory, envelope)`` — the
+    envelope is ``{}`` for bare trajectories."""
     if isinstance(task, dict):
-        return task["trajectory"], task.get("trace_id")
-    return task, None
+        return task["trajectory"], task
+    return task, {}
 
 
-def worker_main(spec: WorkerSpec, task_queue, result_queue) -> None:
-    """Entry point of one worker process (target of ``Process``)."""
+def _rebased_deadline(envelope: dict) -> Optional[Deadline]:
+    """The request deadline on *this* process's clock, if the envelope
+    carries one.
+
+    The pool stamps ``deadline_epoch`` (absolute wall clock); epoch time
+    is shared across processes, so converting through this process's
+    :func:`~repro.obs.tracing.clock_offset` yields the same instant on
+    the local ``perf_counter`` timeline — the monotonic clock
+    :class:`Deadline` budgets are measured on.
+    """
+    deadline_epoch = envelope.get("deadline_epoch")
+    if deadline_epoch is None:
+        return None
+    budget_s = float(envelope.get("deadline_budget_s") or 0.0)
+    expires_pc = float(deadline_epoch) - clock_offset()
+    return Deadline(expires_pc, budget_s, clock=time.perf_counter)
+
+
+def _expired_message(spec: WorkerSpec, trajectory: Trajectory, trace_id) -> dict:
+    """The result sent for a task whose deadline passed while queued:
+    fully accounted (the pool counts it ``expired``), no work done."""
+    return {
+        "kind": "result",
+        "shard": spec.shard,
+        "worker_id": spec.worker_id,
+        "traj_id": trajectory.traj_id,
+        "trace_id": trace_id,
+        "replayed": False,
+        "expired": True,
+        "error": "DeadlineExceeded: request expired in queue",
+        "error_type": "DeadlineExceeded",
+        "start_epoch": time.time(),
+        "process_s": 0.0,
+        "trips": [],
+        "segments": 0,
+        "failed": 0,
+        "degraded": 0,
+        "model_calls": 0,
+        "rungs": {},
+        "quarantined": False,
+    }
+
+
+def _rung_cap(spec: WorkerSpec, control, deadline: Optional[Deadline]) -> Optional[str]:
+    """The ladder cap for one task: pool brownout level (shared
+    ``control`` Value) tightened by local deadline pressure."""
+    cap: Optional[str] = None
+    if control is not None:
+        cap = rung_cap_for(int(control.value))
+    if (
+        spec.late_degrade
+        and deadline is not None
+        and not deadline.is_unlimited
+        and deadline.budget_s > 0
+    ):
+        frac = max(0.0, deadline.remaining()) / deadline.budget_s
+        if frac < 0.25:
+            cap = DegradationLadder.tighter_cap(cap, RUNG_COUNTING)
+        elif frac < 0.5:
+            cap = DegradationLadder.tighter_cap(cap, RUNG_REDUCED_BEAM)
+    return cap
+
+
+def worker_main(spec: WorkerSpec, task_queue, result_queue, control=None) -> None:
+    """Entry point of one worker process (target of ``Process``).
+
+    ``control`` (optional) is a shared ``multiprocessing.Value('i')``
+    holding the pool's current brownout level; the worker reads it per
+    task and caps the degradation ladder accordingly."""
     if spec.trace:
         get_tracer().max_roots = spec.trace_max_roots
         enable_tracing()
@@ -232,10 +322,12 @@ def worker_main(spec: WorkerSpec, task_queue, result_queue) -> None:
     if path is not None:
         journal = StreamJournal(path)
     monkey: Optional[ChaosMonkey] = None
+    chaos_cfg = spec.worker_chaos
     if spec.crash_after is not None:
-        monkey = ChaosMonkey(
-            ChaosConfig(seed=spec.chaos_seed, crash_after=spec.crash_after)
-        )
+        base = chaos_cfg or ChaosConfig(seed=spec.chaos_seed)
+        chaos_cfg = replace(base, crash_after=spec.crash_after)
+    if chaos_cfg is not None:
+        monkey = ChaosMonkey(chaos_cfg)
 
     result_queue.put(
         {"kind": "ready", "shard": spec.shard, "worker_id": spec.worker_id}
@@ -252,7 +344,24 @@ def worker_main(spec: WorkerSpec, task_queue, result_queue) -> None:
         task = task_queue.get()
         if task is None:
             break
-        trajectory, trace_id = _unpack_task(task)
+        trajectory, envelope = _unpack_task(task)
+        trace_id = envelope.get("trace_id")
+        if monkey is not None:
+            # Chaos: a stalled worker wedges *here* — after the dequeue,
+            # before any durability work — so its shard's queue backs up
+            # while the process stays alive (the overload scenario).
+            monkey.on_dequeue()
+        # Tell the pool the task left the queue: this is what splits the
+        # serve_queue_depth gauge (still queued) from serve_inflight
+        # (dequeued, no result yet) and lets admission refill the shard.
+        result_queue.put(
+            {
+                "kind": "dequeued",
+                "shard": spec.shard,
+                "worker_id": spec.worker_id,
+                "traj_id": trajectory.traj_id,
+            }
+        )
         if journal is not None:
             journal.begin(trajectory)
         if monkey is not None:
@@ -265,8 +374,23 @@ def worker_main(spec: WorkerSpec, task_queue, result_queue) -> None:
                 # goodbye message, no cleanup, no atexit — the pool must
                 # notice the dead process via is_alive() and respawn.
                 os._exit(CRASH_EXIT_CODE)
+        deadline = _rebased_deadline(envelope)
+        if deadline is not None and deadline.expired:
+            # Dead on arrival: its deadline passed while it sat in the
+            # queue. Report it expired (accounted, journaled done) and
+            # spend the remaining capacity on requests that can still
+            # make their deadline.
+            obs.count("repro.serve.expired_in_queue_total")
+            result_queue.put(_expired_message(spec, trajectory, trace_id))
+            if journal is not None:
+                journal.done(trajectory.traj_id)
+            processed += 1
+            continue
         _process_one(
-            spec, service, journal, result_queue, trajectory, False, trace_id
+            spec, service, journal, result_queue, trajectory, False, trace_id,
+            deadline=deadline,
+            max_rung=_rung_cap(spec, control, deadline),
+            monkey=monkey,
         )
         processed += 1
         if spec.metrics_every and processed % spec.metrics_every == 0:

@@ -1,0 +1,243 @@
+"""Property-based checks for the resilience primitives.
+
+The example-based tests in test_resilience.py pin specific scenarios;
+these verify the *invariants* under arbitrary inputs:
+
+* :meth:`RetryPolicy.delay_for` always lands in the documented
+  half-jitter envelope ``[raw/2, raw)`` where
+  ``raw = min(max_delay, base * 2**(n-1))`` — no retry storm can wait
+  longer than the cap, none collapses to a zero-delay hot loop.
+* :class:`CircuitBreaker` walks only legal edges of its three-state
+  machine (closed→open on threshold, open→half-open on clock,
+  half-open→closed/open on probe outcome) for *any* interleaving of
+  successes, failures, and clock advances.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.resilience.breaker import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    CircuitBreaker,
+    RetryPolicy,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+class TestRetryJitterBounds:
+    @given(
+        attempt=st.integers(min_value=1, max_value=40),
+        base=st.floats(min_value=1e-6, max_value=10.0),
+        cap_factor=st.floats(min_value=1.0, max_value=1000.0),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_delay_always_in_half_jitter_envelope(
+        self, attempt, base, cap_factor, seed
+    ):
+        cap = base * cap_factor
+        policy = RetryPolicy(base_delay_s=base, max_delay_s=cap, seed=seed)
+        raw = min(cap, base * 2 ** (attempt - 1))
+        delay = policy.delay_for(attempt)
+        assert raw * 0.5 <= delay < raw
+
+    @given(
+        base=st.floats(min_value=1e-6, max_value=1.0),
+        cap_factor=st.floats(min_value=1.0, max_value=64.0),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_delay_never_exceeds_cap(self, base, cap_factor, seed):
+        cap = base * cap_factor
+        policy = RetryPolicy(base_delay_s=base, max_delay_s=cap, seed=seed)
+        for attempt in range(1, 60):
+            assert policy.delay_for(attempt) < cap
+
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_expected_growth_until_cap(self, seed):
+        """The *raw* (pre-jitter) schedule doubles then plateaus; the
+        jittered delay can never cross the next raw step's ceiling."""
+        base, cap = 0.01, 0.25
+        policy = RetryPolicy(base_delay_s=base, max_delay_s=cap, seed=seed)
+        raws = [min(cap, base * 2 ** (n - 1)) for n in range(1, 12)]
+        for attempt, raw in enumerate(raws, start=1):
+            assert policy.delay_for(attempt) < raw
+
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_deterministic_under_fixed_seed(self, seed):
+        a = RetryPolicy(seed=seed)
+        b = RetryPolicy(seed=seed)
+        assert [a.delay_for(n) for n in range(1, 9)] == [
+            b.delay_for(n) for n in range(1, 9)
+        ]
+
+
+# An arbitrary stimulus sequence for the breaker state machine.
+EVENTS = st.lists(
+    st.one_of(
+        st.just("success"),
+        st.just("failure"),
+        st.floats(min_value=0.001, max_value=100.0),  # clock advance (s)
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+def drive(breaker, clock, event):
+    """Apply one stimulus the way production code would: ``allow()``
+    gates every record, exactly like :meth:`CircuitBreaker.call`."""
+    if isinstance(event, float):
+        clock.advance(event)
+        return None
+    allowed = breaker.allow()
+    if allowed:
+        if event == "success":
+            breaker.record_success()
+        else:
+            breaker.record_failure()
+    return allowed
+
+
+class TestBreakerStateMachine:
+    @given(
+        events=EVENTS,
+        threshold=st.integers(min_value=1, max_value=5),
+        recovery=st.floats(min_value=0.1, max_value=10.0),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_only_legal_transitions(self, events, threshold, recovery):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            "prop", failure_threshold=threshold, recovery_s=recovery,
+            clock=clock,
+        )
+        legal = {
+            (CLOSED, OPEN),       # threshold consecutive failures
+            (OPEN, HALF_OPEN),    # recovery window elapsed
+            (HALF_OPEN, CLOSED),  # probe succeeded
+            (HALF_OPEN, OPEN),    # probe failed
+        }
+        previous = breaker.state
+
+        def check(stage):
+            nonlocal previous
+            current = breaker.state
+            if current != previous:
+                assert (previous, current) in legal, (
+                    f"illegal transition {previous} -> {current} ({stage})"
+                )
+            previous = current
+
+        # allow() and record_*() each take at most one edge, so observe
+        # after every sub-step (a probe success is open -> half_open ->
+        # closed within one call/record round, two separate edges).
+        for event in events:
+            if isinstance(event, float):
+                clock.advance(event)
+                continue
+            allowed = breaker.allow()
+            check("allow")
+            if allowed:
+                if event == "success":
+                    breaker.record_success()
+                else:
+                    breaker.record_failure()
+                check("record")
+
+    @given(
+        events=EVENTS,
+        threshold=st.integers(min_value=1, max_value=5),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_open_blocks_until_recovery_window(self, events, threshold):
+        """While open and inside the recovery window, allow() is always
+        False; once the window has elapsed, the next allow() probes."""
+        recovery = 5.0
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            "prop", failure_threshold=threshold, recovery_s=recovery,
+            clock=clock,
+        )
+        for event in events:
+            was_open_since = (
+                breaker.opened_at if breaker.state == OPEN else None
+            )
+            allowed = drive(breaker, clock, event)
+            if was_open_since is not None and allowed is not None:
+                elapsed = clock() - was_open_since
+                if elapsed < recovery:
+                    assert allowed is False
+                    assert breaker.state == OPEN
+                else:
+                    assert allowed is True
+                    assert breaker.state in (HALF_OPEN, CLOSED, OPEN)
+
+    @given(
+        events=EVENTS,
+        threshold=st.integers(min_value=1, max_value=5),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_closed_invariants(self, events, threshold):
+        """Closed implies fewer consecutive failures than the threshold,
+        and any success resets the streak to zero."""
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            "prop", failure_threshold=threshold, recovery_s=1.0, clock=clock,
+        )
+        for event in events:
+            allowed = drive(breaker, clock, event)
+            if breaker.state == CLOSED:
+                assert breaker.consecutive_failures < threshold
+            if event == "success" and allowed:
+                assert breaker.consecutive_failures == 0
+                assert breaker.state == CLOSED
+
+    @given(events=EVENTS)
+    @settings(max_examples=100, deadline=None)
+    def test_half_open_probe_decides_immediately(self, events):
+        """From half-open, one recorded outcome settles the state: a
+        success closes the breaker, a failure re-opens it."""
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            "prop", failure_threshold=2, recovery_s=1.0, clock=clock,
+        )
+        for event in events:
+            in_half_open = breaker.state == HALF_OPEN
+            allowed = drive(breaker, clock, event)
+            if in_half_open and allowed:
+                expected = CLOSED if event == "success" else OPEN
+                assert breaker.state == expected
+
+    def test_full_cycle_closed_open_half_open_closed(self):
+        """The canonical happy path, pinned (no randomness)."""
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            "cycle", failure_threshold=2, recovery_s=3.0, clock=clock,
+        )
+        assert breaker.state == CLOSED
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert breaker.allow() is False
+        clock.advance(3.0)
+        assert breaker.allow() is True
+        assert breaker.state == HALF_OPEN
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.open_count == 1

@@ -193,12 +193,15 @@ class TestWorkerEnvelope:
     def test_envelope_unpacks_trajectory_and_trace_id(self):
         marker = object()
         task = {"trajectory": marker, "trace_id": "f" * 16, "submit_epoch": 1.0}
-        assert _unpack_task(task) == (marker, "f" * 16)
+        trajectory, envelope = _unpack_task(task)
+        assert trajectory is marker
+        assert envelope is task
+        assert envelope.get("trace_id") == "f" * 16
 
     def test_bare_trajectory_tolerated(self):
         # Journal replay feeds bare trajectories; they mint a fresh id.
         marker = object()
-        assert _unpack_task(marker) == (marker, None)
+        assert _unpack_task(marker) == (marker, {})
 
     def test_span_batch_bounds_shipped_spans(self):
         """Overflow roots are dropped and counted, never shipped."""
@@ -209,7 +212,7 @@ class TestWorkerEnvelope:
             class _Service:
                 stats = SimpleNamespace(quarantined=0)
 
-                def process(self, trajectory):
+                def process(self, trajectory, deadline=None, max_rung=None):
                     for i in range(5):
                         with span(f"work.{i}"):
                             pass
